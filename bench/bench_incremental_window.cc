@@ -1,0 +1,74 @@
+// Ablation (DESIGN.md §7.2): incremental window maintenance vs. rebuilding
+// each evaluation's snapshot from scratch, as a function of the
+// window-to-slide ratio. The expectation: rebuild cost grows with the
+// window width (it re-merges every covered element each evaluation) while
+// incremental cost tracks the slide (the per-step element delta), so the
+// gap widens as windows get wider relative to the slide.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "stream/snapshot.h"
+#include "workloads/bike_sharing.h"
+
+namespace {
+
+using namespace seraph;
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraphStream MakeStream(int minutes) {
+  workloads::BikeSharingConfig config;
+  config.num_events = minutes / 5;
+  config.event_period = Duration::FromMinutes(5);
+  config.num_users = 80;
+  config.num_stations = 25;
+  PropertyGraphStream stream;
+  (void)workloads::AppendEvents(
+      workloads::GenerateBikeSharingStream(config), &stream);
+  return stream;
+}
+
+// One full pass: slide a window of `width` minutes by 5-minute steps over
+// the whole stream, materializing the snapshot at every step.
+void BM_WindowMaintenance(benchmark::State& state) {
+  bool incremental = state.range(0) != 0;
+  int width = static_cast<int>(state.range(1));
+  static PropertyGraphStream stream = MakeStream(480);  // 8 hours.
+  int64_t horizon = 480;
+  int64_t snapshot_nodes = 0;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    if (incremental) {
+      IncrementalSnapshotter inc(&stream,
+                                 IntervalBounds::kLeftOpenRightClosed);
+      for (int64_t end = 5; end <= horizon; end += 5) {
+        (void)inc.Advance(TimeInterval{T(end - width), T(end)});
+        snapshot_nodes += static_cast<int64_t>(inc.graph().num_nodes());
+        ++steps;
+      }
+    } else {
+      for (int64_t end = 5; end <= horizon; end += 5) {
+        auto snapshot =
+            BuildSnapshot(stream, TimeInterval{T(end - width), T(end)},
+                          IntervalBounds::kLeftOpenRightClosed);
+        snapshot_nodes += static_cast<int64_t>(snapshot->num_nodes());
+        ++steps;
+      }
+    }
+  }
+  state.counters["evaluations"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kIsRate);
+  state.counters["avg_snapshot_nodes"] =
+      steps > 0 ? static_cast<double>(snapshot_nodes) / steps : 0;
+  state.SetLabel(std::string(incremental ? "incremental" : "rebuild") +
+                 "/width=" + std::to_string(width) + "m/slide=5m");
+}
+BENCHMARK(BM_WindowMaintenance)
+    ->ArgsProduct({{0, 1}, {15, 60, 120, 240}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

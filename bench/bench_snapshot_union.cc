@@ -1,0 +1,90 @@
+// Figure 2 machinery: property-graph union (Def. 5.4) and snapshot-graph
+// construction (Def. 5.5) as a function of element count and element size.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_union.h"
+#include "stream/snapshot.h"
+
+namespace {
+
+using namespace seraph;
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+// A stream element with `nodes_per_event` nodes drawn from a universe of
+// `universe` ids (overlap across elements exercises the merge path).
+PropertyGraph MakeElement(std::mt19937_64* rng, int nodes_per_event,
+                          int universe, int64_t* rel_counter) {
+  std::uniform_int_distribution<int64_t> id_dist(1, universe);
+  PropertyGraph g;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < nodes_per_event; ++i) {
+    NodeId id{id_dist(*rng)};
+    NodeData data;
+    data.labels = {"N"};
+    data.properties = {{"v", Value::Int(id.value)}};
+    g.MergeNode(id, data);
+    ids.push_back(id);
+  }
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    if (ids[i] == ids[i + 1]) continue;
+    RelData rel;
+    rel.type = "E";
+    rel.src = ids[i];
+    rel.trg = ids[i + 1];
+    (void)g.MergeRelationship(RelId{++*rel_counter}, rel);
+  }
+  return g;
+}
+
+void BM_MergeUnionPair(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(1);
+  int64_t rels = 0;
+  PropertyGraph a = MakeElement(&rng, size, size * 2, &rels);
+  PropertyGraph b = MakeElement(&rng, size, size * 2, &rels);
+  for (auto _ : state) {
+    auto u = MergeUnion(a, b);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_MergeUnionPair)->Range(16, 4096)->Complexity();
+
+void BM_StrictUnionConsistencyCheck(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(2);
+  int64_t rels = 0;
+  // Identical operands: worst case for the overlap check.
+  PropertyGraph a = MakeElement(&rng, size, size, &rels);
+  for (auto _ : state) {
+    auto u = StrictUnion(a, a);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_StrictUnionConsistencyCheck)->Range(16, 1024);
+
+void BM_BuildSnapshot(benchmark::State& state) {
+  int64_t window_elements = state.range(0);
+  std::mt19937_64 rng(3);
+  int64_t rels = 0;
+  PropertyGraphStream stream;
+  for (int64_t i = 0; i < window_elements; ++i) {
+    (void)stream.Append(MakeElement(&rng, 20, 200, &rels), T(i));
+  }
+  TimeInterval window{T(-1), T(window_elements)};
+  for (auto _ : state) {
+    auto snapshot = BuildSnapshot(stream, window,
+                                  IntervalBounds::kLeftOpenRightClosed);
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.SetComplexityN(window_elements);
+}
+BENCHMARK(BM_BuildSnapshot)->Range(4, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Figure 4 machinery: active-window selection and ET-grid generation under
+// both window semantics (the DESIGN.md §7.1 ablation), plus substream
+// selection cost as streams grow.
+#include <benchmark/benchmark.h>
+
+#include "graph/graph_builder.h"
+#include "stream/graph_stream.h"
+#include "stream/window.h"
+
+namespace {
+
+using namespace seraph;
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+void BM_ActiveWindow(benchmark::State& state) {
+  WindowSemantics semantics = state.range(0) == 0
+                                  ? WindowSemantics::kLookback
+                                  : WindowSemantics::kPaperFormal;
+  WindowConfig config{T(0), Duration::FromMinutes(60),
+                      Duration::FromMinutes(5), semantics};
+  int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 13) % 100'000;
+    auto window = config.ActiveWindow(T(t));
+    benchmark::DoNotOptimize(window);
+  }
+  state.SetLabel(state.range(0) == 0 ? "lookback" : "paper_formal");
+}
+BENCHMARK(BM_ActiveWindow)->Arg(0)->Arg(1);
+
+void BM_EvaluationGrid(benchmark::State& state) {
+  int64_t horizon_minutes = state.range(0);
+  EvaluationTimes et(T(0), Duration::FromMinutes(5));
+  for (auto _ : state) {
+    auto instants = et.UpTo(T(horizon_minutes));
+    benchmark::DoNotOptimize(instants);
+  }
+  state.counters["instants"] = static_cast<double>(horizon_minutes / 5 + 1);
+}
+BENCHMARK(BM_EvaluationGrid)->Arg(60)->Arg(600)->Arg(6000);
+
+void BM_SubstreamSelection(benchmark::State& state) {
+  int64_t elements = state.range(0);
+  PropertyGraphStream stream;
+  for (int64_t i = 0; i < elements; ++i) {
+    PropertyGraph g = GraphBuilder()
+                          .Node(i % 50, {"N"}, {{"i", Value::Int(i)}})
+                          .Build();
+    (void)stream.Append(std::move(g), T(i));
+  }
+  int64_t at = 0;
+  for (auto _ : state) {
+    at = (at + 37) % elements;
+    TimeInterval window{T(at - 60), T(at)};
+    auto sub = stream.Substream(window,
+                                IntervalBounds::kLeftOpenRightClosed);
+    benchmark::DoNotOptimize(sub);
+  }
+  state.SetComplexityN(elements);
+}
+BENCHMARK(BM_SubstreamSelection)->Range(1 << 8, 1 << 14)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// The paper's running example (Section 2 / 5.4), end to end:
+//
+//  * replays the Figure-1 event stream;
+//  * shows the merged Figure-2 snapshot graph;
+//  * runs the Listing-1 Cypher workaround at 15:40 (Table 2);
+//  * registers the Listing-5 Seraph query and replays the stream,
+//    reproducing Tables 5 and 6 at 15:15h and 15:40h;
+//  * contrasts with the polling baseline's duplicate reports;
+//  * finally runs the fraud detector over a scaled synthetic day.
+//
+// Build & run:  ./build/examples/bike_sharing
+#include <iostream>
+
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/polling_baseline.h"
+#include "seraph/sinks.h"
+#include "workloads/bike_sharing.h"
+
+namespace {
+
+using namespace seraph;
+
+int RunExactReplay() {
+  std::cout << "== Figure 1: the event stream ==\n";
+  std::vector<workloads::Event> events =
+      workloads::BuildRunningExampleStream();
+  for (const auto& event : events) {
+    std::cout << "event @ " << event.timestamp.ToClockString() << ": "
+              << event.graph.num_nodes() << " nodes, "
+              << event.graph.num_relationships() << " relationships\n";
+  }
+
+  std::cout << "\n== Figure 2: merged snapshot graph ==\n";
+  PropertyGraph merged = workloads::BuildRunningExampleMergedGraph();
+  std::cout << merged.DebugString();
+
+  std::cout << "\n== Table 2: one-time Cypher (Listing 1) at 15:40 ==\n";
+  auto cypher = ParseCypherQuery(workloads::RunningExampleCypherQuery());
+  if (!cypher.ok()) {
+    std::cerr << cypher.status() << "\n";
+    return 1;
+  }
+  ExecutionOptions options;
+  options.now = Timestamp::Parse("2022-10-14T15:40").value();
+  auto table2 = ExecuteQueryOnGraph(*cypher, merged, options);
+  if (!table2.ok()) {
+    std::cerr << table2.status() << "\n";
+    return 1;
+  }
+  std::cout << table2->Canonicalized().ToAsciiTable(
+      {"r.user_id", "s.id", "r.val_time", "hops"});
+
+  std::cout << "\n== Tables 5/6: Seraph continuous query (Listing 5) ==\n";
+  std::cout << workloads::RunningExampleSeraphQuery() << "\n";
+  PrintingSink printer(&std::cout,
+                       {"r.user_id", "s.id", "r.val_time", "hops"});
+  ContinuousEngine engine;
+  engine.AddSink(&printer);
+  Status registered =
+      engine.RegisterText(workloads::RunningExampleSeraphQuery());
+  if (!registered.ok()) {
+    std::cerr << registered << "\n";
+    return 1;
+  }
+  for (const auto& event : events) {
+    Status s = engine.Ingest(event.graph, event.timestamp);
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  if (Status s = engine.Drain(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  std::cout << "\n== Contrast: the Section-3.3 polling workaround ==\n";
+  auto baseline_query =
+      ParseCypherQuery(workloads::RunningExampleCypherQuery());
+  PollingBaseline baseline(std::move(baseline_query).value(),
+                           Timestamp::Parse("2022-10-14T14:45").value(),
+                           Duration::FromMinutes(5));
+  size_t next = 0;
+  int64_t total_rows = 0;
+  for (int i = 0; i <= 11; ++i) {
+    Timestamp poll = Timestamp::Parse("2022-10-14T14:45").value() +
+                     Duration::FromMinutes(5 * i);
+    while (next < events.size() && events[next].timestamp <= poll) {
+      (void)baseline.Ingest(events[next++].graph);
+    }
+    auto due = baseline.AdvanceTo(poll);
+    if (!due.ok()) {
+      std::cerr << due.status() << "\n";
+      return 1;
+    }
+    for (const auto& [at, table] : *due) total_rows += table.size();
+  }
+  std::cout << "polling reported " << total_rows
+            << " rows over 12 polls (duplicates re-reported every period); "
+               "Seraph's ON ENTERING reported 2\n";
+  return 0;
+}
+
+int RunScaledDay() {
+  std::cout << "\n== Scaled synthetic day (fraud detection) ==\n";
+  workloads::BikeSharingConfig config;
+  config.num_events = 48;  // 4 hours of 5-minute batches.
+  config.num_stations = 40;
+  config.num_users = 60;
+  config.fraud_fraction = 0.08;
+  auto events = workloads::GenerateBikeSharingStream(config);
+
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  // The fraud detector at scale. Two deviations from the verbatim
+  // Listing 5 keep matching tractable on a busy system: the chain pattern
+  // is bounded (*3..5 — one fraudulent extension plus slack, instead of
+  // unbounded *3..), and the window stays at 1 hour. The unbounded pattern
+  // over a dense hour-wide snapshot enumerates exponentially many paths.
+  if (Status s = engine.RegisterText(R"(
+        REGISTER QUERY student_trick STARTING AT '1970-01-01T00:05'
+        {
+          MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+                q = (b)-[:returnedAt|rentedAt*3..5]-(o:Station)
+          WITHIN PT1H
+          WITH r, s, q, relationships(q) AS rels
+          WHERE ALL(e IN rels WHERE
+                e.user_id = r.user_id AND e.val_time > r.val_time AND
+                (e.duration IS NULL OR e.duration < 20))
+          EMIT r.user_id, s.id, r.val_time
+          ON ENTERING EVERY PT5M
+        })");
+      !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  for (const auto& event : events) {
+    if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  if (Status s = engine.Drain(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  int64_t alerts = 0;
+  for (const auto& entry : sink.ResultsFor("student_trick").entries()) {
+    alerts += static_cast<int64_t>(entry.table.size());
+  }
+  std::cout << "stream: " << events.size() << " events; evaluations: "
+            << engine.evaluations_run() << "; fraud alerts emitted: "
+            << alerts << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int rc = RunExactReplay();
+  if (rc != 0) return rc;
+  return RunScaledDay();
+}

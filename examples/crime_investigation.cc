@@ -1,0 +1,58 @@
+// The Section-4.2 crime-investigation (POLE) use case: stream sightings
+// and crime events; the continuous query reports every person seen at a
+// location where a crime occurred within the last 30 minutes, emitting
+// only new suspects (ON ENTERING) every 5 minutes.
+//
+// Build & run:  ./build/examples/crime_investigation
+#include <iostream>
+
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+#include "workloads/pole.h"
+
+int main() {
+  using namespace seraph;
+
+  workloads::PoleConfig config;
+  config.num_persons = 40;
+  config.num_locations = 8;
+  config.num_events = 24;  // Two hours of 5-minute batches.
+  config.crime_probability = 0.3;
+  auto events = workloads::GeneratePoleStream(config);
+
+  std::string query = workloads::CrimeInvestigationSeraphQuery(
+      config.start + config.event_period);
+  std::cout << "Registered query:\n" << query << "\n";
+
+  ContinuousEngine engine;
+  PrintingSink printer(
+      &std::cout, {"p.person_id", "c.crime_id", "l.location_id", "s.time"});
+  CollectingSink collector;
+  engine.AddSink(&printer);
+  engine.AddSink(&collector);
+  if (Status s = engine.RegisterText(query); !s.ok()) {
+    std::cerr << "register failed: " << s << "\n";
+    return 1;
+  }
+
+  for (const auto& event : events) {
+    if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
+      std::cerr << "ingest failed: " << s << "\n";
+      return 1;
+    }
+  }
+  if (Status s = engine.Drain(); !s.ok()) {
+    std::cerr << "evaluation failed: " << s << "\n";
+    return 1;
+  }
+
+  int64_t alerts = 0;
+  for (const auto& entry : collector.ResultsFor("crime_watch").entries()) {
+    alerts += static_cast<int64_t>(entry.table.size());
+  }
+  std::cout << "\nevents: " << events.size()
+            << "; evaluations: " << engine.evaluations_run()
+            << "; suspect alerts (each reported once, ON ENTERING): "
+            << alerts << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The Section-4.1 network-monitoring use case: stream full-topology
+// configuration snapshots once per minute, continuously compute shortest
+// rack→egress routes in a 10-minute window, and emit every route whose
+// length's z-score against the configured baseline (μ = 5, σ = 0.3)
+// exceeds 3 — i.e. every detour forced by a failed uplink.
+//
+// Build & run:  ./build/examples/network_monitoring
+#include <iostream>
+
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+#include "workloads/network.h"
+
+int main() {
+  using namespace seraph;
+
+  workloads::NetworkConfig config;
+  config.num_racks = 8;
+  config.num_ticks = 20;
+  config.failure_probability = 0.15;
+  auto events = workloads::GenerateNetworkStream(config);
+
+  std::string query = workloads::NetworkMonitoringSeraphQuery(
+      config.start + config.tick_period);
+  std::cout << "Registered query:\n" << query << "\n";
+
+  ContinuousEngine engine;
+  PrintingSink printer(&std::cout, {"r.rack_id", "r.tick", "len"});
+  CollectingSink collector;
+  engine.AddSink(&printer);
+  engine.AddSink(&collector);
+  if (Status s = engine.RegisterText(query); !s.ok()) {
+    std::cerr << "register failed: " << s << "\n";
+    return 1;
+  }
+
+  for (const auto& event : events) {
+    if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
+      std::cerr << "ingest failed: " << s << "\n";
+      return 1;
+    }
+  }
+  if (Status s = engine.Drain(); !s.ok()) {
+    std::cerr << "evaluation failed: " << s << "\n";
+    return 1;
+  }
+
+  int64_t anomalies = 0;
+  for (const auto& entry :
+       collector.ResultsFor("network_monitor").entries()) {
+    anomalies += static_cast<int64_t>(entry.table.size());
+  }
+  std::cout << "\nticks: " << events.size()
+            << "; evaluations: " << engine.evaluations_run()
+            << "; anomalous routes reported (SNAPSHOT re-reports while the "
+               "detour stays in the window): "
+            << anomalies << "\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension-feature tour: one physical rental feed partitioned into
+// per-region logical streams (StreamRouter, §8 (ii)), queried with
+// multi-stream windows (`WITHIN ... FROM`, §8 (i)) against a static
+// station registry (§8 (iii)), with per-query statistics showing the
+// unchanged-window result reuse (§6) at work.
+//
+// Build & run:  ./build/examples/partitioned_fleet
+#include <iostream>
+
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+#include "seraph/stream_router.h"
+
+int main() {
+  using namespace seraph;
+
+  auto at = [](int minute) { return Timestamp::FromMillis(minute * 60'000); };
+
+  // Static registry: stations with regions (never streamed, never expires).
+  GraphBuilder registry;
+  for (int64_t s = 1; s <= 6; ++s) {
+    registry.Node(1000 + s, {"Station"},
+                  {{"id", Value::Int(s)},
+                   {"region", Value::String(s <= 3 ? "north" : "south")}});
+  }
+
+  ContinuousEngine engine;
+  PrintingSink printer(&std::cout, {"b.id", "s.id", "s.region"});
+  engine.AddSink(&printer);
+  if (Status s = engine.SetStaticGraph(registry.Build()); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // One continuous query per region, each windowing over its own logical
+  // sub-stream; the Station nodes come from the static registry.
+  for (const char* region : {"north", "south"}) {
+    std::string query = std::string("REGISTER QUERY rentals_") + region +
+                        " STARTING AT '1970-01-01T00:05' { "
+                        "MATCH (b:Bike)-[r:rentedAt]->(s:Station) "
+                        "WITHIN PT30M FROM " +
+                        region +
+                        " EMIT b.id, s.id, s.region ON ENTERING EVERY PT5M }";
+    if (Status s = engine.RegisterText(query); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+
+  // Route the physical feed by the station's region property.
+  StreamRouter router;
+  router.AddRoute("north", NodePropertyEquals("region", Value::String("north")));
+  router.AddRoute("south", NodePropertyEquals("region", Value::String("south")));
+
+  auto rental = [&](int64_t bike, int64_t station, int minute) {
+    const char* region = station <= 3 ? "north" : "south";
+    return GraphBuilder()
+        .Node(bike, {"Bike"}, {{"id", Value::Int(bike)}})
+        .Node(1000 + station, {"Station"},
+              {{"id", Value::Int(station)},
+               {"region", Value::String(region)}})
+        .Rel(bike * 100 + minute, bike, 1000 + station, "rentedAt",
+             {{"val_time", Value::DateTime(at(minute))}})
+        .Build();
+  };
+
+  struct Ride {
+    int64_t bike, station;
+    int minute;
+  };
+  for (const Ride& ride : {Ride{1, 1, 2}, Ride{2, 5, 4}, Ride{3, 2, 8},
+                           Ride{4, 6, 12}, Ride{5, 3, 23}}) {
+    auto graph = std::make_shared<const PropertyGraph>(
+        rental(ride.bike, ride.station, ride.minute));
+    auto delivered = router.Route(&engine, graph, at(ride.minute));
+    if (!delivered.ok()) {
+      std::cerr << delivered.status() << "\n";
+      return 1;
+    }
+  }
+  if (Status s = engine.AdvanceTo(at(60)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  for (const char* region : {"north", "south"}) {
+    QueryStats stats = *engine.StatsFor(std::string("rentals_") + region);
+    std::cout << "[rentals_" << region << "] evaluations=" << stats.evaluations
+              << " reused=" << stats.reused_results
+              << " rows=" << stats.rows_emitted << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Hash-combining helper used by value and record hashing.
+#ifndef SERAPH_COMMON_HASH_H_
+#define SERAPH_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace seraph {
+
+// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_HASH_H_

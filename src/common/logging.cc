@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+namespace seraph {
+namespace internal_logging {
+
+namespace {
+const char* SeverityTag(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (severity_ == Severity::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace seraph

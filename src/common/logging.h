@@ -1,0 +1,64 @@
+// Minimal logging and invariant-checking facilities.
+//
+// SERAPH_CHECK(cond) << "context";   // aborts on violation
+// SERAPH_LOG(INFO) << "message";     // severity-tagged stderr logging
+#ifndef SERAPH_COMMON_LOGGING_H_
+#define SERAPH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace seraph {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+// Accumulates one log line and flushes it (to stderr) on destruction.
+// Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+// Turns a LogMessage expression into void so it can sit in the unused
+// branch of the SERAPH_CHECK ternary. operator& binds looser than <<, so
+// the message chain is fully built before being discarded.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace seraph
+
+#define SERAPH_LOG(severity)                                    \
+  ::seraph::internal_logging::LogMessage(                       \
+      ::seraph::internal_logging::Severity::k##severity,        \
+      __FILE__, __LINE__)
+
+#define SERAPH_CHECK(cond)                                                \
+  (cond) ? (void)0                                                        \
+         : ::seraph::internal_logging::Voidify() &                        \
+               (::seraph::internal_logging::LogMessage(                   \
+                    ::seraph::internal_logging::Severity::kFatal,         \
+                    __FILE__, __LINE__)                                   \
+                << "Check failed: " #cond " ")
+
+#define SERAPH_DCHECK(cond) SERAPH_CHECK(cond)
+
+#endif  // SERAPH_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace seraph {
+
+namespace {
+
+// Index of the bucket holding `value`: floor(log2(max(value, 1))).
+int BucketIndex(int64_t value) {
+  if (value < 1) value = 1;
+  int index = 0;
+  while (value > 1 && index < Histogram::kBuckets - 1) {
+    value >>= 1;
+    ++index;
+  }
+  return index;
+}
+
+int64_t BucketLow(int index) { return int64_t{1} << index; }
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  double target = p * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Linear interpolation within the bucket [2^i, 2^(i+1)).
+      double into = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
+      double low = static_cast<double>(BucketLow(i));
+      int64_t estimate = static_cast<int64_t>(low + into * low);
+      return std::clamp(estimate, min_, max_);
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.mean = count_ == 0 ? 0.0
+                          : static_cast<double>(sum_) /
+                                static_cast<double>(count_);
+  snap.p50 = Percentile(0.50);
+  snap.p90 = Percentile(0.90);
+  snap.p99 = Percentile(0.99);
+  return snap;
+}
+
+std::string HistogramSnapshot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f min=%lld p50=%lld p90=%lld p99=%lld "
+                "max=%lld",
+                static_cast<long long>(count), mean,
+                static_cast<long long>(min), static_cast<long long>(p50),
+                static_cast<long long>(p90), static_cast<long long>(p99),
+                static_cast<long long>(max));
+  return buf;
+}
+
+}  // namespace seraph

@@ -1,0 +1,52 @@
+// Lightweight metrics primitives (RocksDB-Statistics-style): counters and
+// fixed-bucket exponential histograms, used for per-query evaluation
+// latency tracking in the continuous engine.
+#ifndef SERAPH_COMMON_METRICS_H_
+#define SERAPH_COMMON_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace seraph {
+
+// Snapshot of a histogram's state (value semantics, safe to return).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p90 = 0;
+  int64_t p99 = 0;
+
+  std::string ToString() const;
+};
+
+// A histogram over non-negative integer samples (e.g. microseconds) with
+// power-of-two buckets: bucket i holds samples in [2^i, 2^(i+1)).
+// Percentiles are estimated by linear interpolation inside the bucket.
+// Not thread-safe (the engine is single-threaded by design).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_; }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  int64_t Percentile(double p) const;
+
+  std::array<int64_t, kBuckets> buckets_{};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_METRICS_H_

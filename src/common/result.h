@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status holder, the library's counterpart to
+// absl::StatusOr / rocksdb's (Status, out-param) convention.
+#ifndef SERAPH_COMMON_RESULT_H_
+#define SERAPH_COMMON_RESULT_H_
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace seraph {
+
+// Holds either a T (when `ok()`) or an error Status. Accessing the value of
+// an error result aborts the process (library bug), mirroring StatusOr.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` / `return Status::ParseError(...);`. The value
+  // constructor accepts anything convertible to T (e.g. unique_ptr to a
+  // derived class for Result<unique_ptr<Base>>).
+  template <typename U = T,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, Status> &&
+                !std::is_same_v<std::decay_t<U>, Result>>>
+  Result(U&& value)  // NOLINT(runtime/explicit)
+      : value_(std::forward<U>(value)) {}
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SERAPH_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SERAPH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SERAPH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SERAPH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace seraph
+
+// Evaluates `expr` (a Result<T>), propagating errors; otherwise binds the
+// value to `lhs`. `lhs` may include a declaration, e.g.
+//   SERAPH_ASSIGN_OR_RETURN(auto token, lexer.Next());
+#define SERAPH_ASSIGN_OR_RETURN(lhs, expr)              \
+  SERAPH_ASSIGN_OR_RETURN_IMPL_(                        \
+      SERAPH_CONCAT_(_seraph_result, __LINE__), lhs, expr)
+
+#define SERAPH_CONCAT_INNER_(a, b) a##b
+#define SERAPH_CONCAT_(a, b) SERAPH_CONCAT_INNER_(a, b)
+
+#define SERAPH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#endif  // SERAPH_COMMON_RESULT_H_

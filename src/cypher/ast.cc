@@ -1,0 +1,230 @@
+#include "cypher/ast.h"
+
+namespace seraph {
+
+namespace {
+
+std::string PropertiesToString(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  if (props.empty()) return "";
+  std::string out = " {";
+  bool first = true;
+  for (const auto& [key, expr] : props) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + expr->ToString();
+  }
+  out += "}";
+  return out;
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNeq:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSubtract:
+      return "-";
+    case BinaryOp::kMultiply:
+      return "*";
+    case BinaryOp::kDivide:
+      return "/";
+    case BinaryOp::kModulo:
+      return "%";
+    case BinaryOp::kPower:
+      return "^";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kXor:
+      return "XOR";
+    case BinaryOp::kIn:
+      return "IN";
+    case BinaryOp::kStartsWith:
+      return "STARTS WITH";
+    case BinaryOp::kEndsWith:
+      return "ENDS WITH";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string LiteralExpr::ToString() const {
+  if (value_.is_string()) {
+    return "'" + value_.AsString() + "'";
+  }
+  return value_.ToString();
+}
+
+std::string ListExpr::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items_[i]->ToString();
+  }
+  return out + "]";
+}
+
+std::string MapExpr::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, expr] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + expr->ToString();
+  }
+  return out + "}";
+}
+
+std::string UnaryExpr::ToString() const {
+  switch (op_) {
+    case UnaryOp::kNot:
+      return "NOT (" + operand_->ToString() + ")";
+    case UnaryOp::kNegate:
+      return "-(" + operand_->ToString() + ")";
+    case UnaryOp::kPlus:
+      return "+(" + operand_->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + lhs_->ToString() + " " + BinaryOpToString(op_) + " " +
+         rhs_->ToString() + ")";
+}
+
+std::string ComparisonExpr::ToString() const {
+  std::string out = "(" + operands_[0]->ToString();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    out += std::string(" ") + CmpOpToString(ops_[i]) + " " +
+           operands_[i + 1]->ToString();
+  }
+  return out + ")";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name_ + "(";
+  if (count_star_) {
+    out += "*";
+  } else {
+    if (distinct_) out += "DISTINCT ";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args_[i]->ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string ListComprehensionExpr::ToString() const {
+  std::string out = "[" + var_ + " IN " + list_->ToString();
+  if (where_) out += " WHERE " + where_->ToString();
+  if (projection_) out += " | " + projection_->ToString();
+  return out + "]";
+}
+
+std::string ReduceExpr::ToString() const {
+  return "reduce(" + acc_var_ + " = " + init_->ToString() + ", " + var_ +
+         " IN " + list_->ToString() + " | " + body_->ToString() + ")";
+}
+
+std::string QuantifierExpr::ToString() const {
+  const char* name = "";
+  switch (quantifier_) {
+    case Quantifier::kAll:
+      name = "ALL";
+      break;
+    case Quantifier::kAny:
+      name = "ANY";
+      break;
+    case Quantifier::kNone:
+      name = "NONE";
+      break;
+    case Quantifier::kSingle:
+      name = "SINGLE";
+      break;
+  }
+  return std::string(name) + "(" + var_ + " IN " + list_->ToString() +
+         " WHERE " + predicate_->ToString() + ")";
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  if (subject_) out += " " + subject_->ToString();
+  for (const auto& [when, then] : branches_) {
+    out += " WHEN " + when->ToString() + " THEN " + then->ToString();
+  }
+  if (else_) out += " ELSE " + else_->ToString();
+  return out + " END";
+}
+
+std::string NodePattern::ToString() const {
+  std::string out = "(" + variable;
+  for (const std::string& label : labels) out += ":" + label;
+  out += PropertiesToString(properties);
+  return out + ")";
+}
+
+std::string RelPattern::ToString() const {
+  std::string inner = variable;
+  if (!types.empty()) {
+    inner += ":";
+    for (size_t i = 0; i < types.size(); ++i) {
+      if (i > 0) inner += "|";
+      inner += types[i];
+    }
+  }
+  if (variable_length) {
+    inner += "*";
+    if (min_hops.has_value()) inner += std::to_string(*min_hops);
+    inner += "..";
+    if (max_hops.has_value()) inner += std::to_string(*max_hops);
+  }
+  inner += PropertiesToString(properties);
+  std::string body = inner.empty() ? "-" : "-[" + inner + "]-";
+  switch (direction) {
+    case RelDirection::kOutgoing:
+      return body + ">";
+    case RelDirection::kIncoming:
+      return "<" + body;
+    case RelDirection::kUndirected:
+      return body;
+  }
+  return body;
+}
+
+std::string PathPattern::ToString() const {
+  std::string out;
+  if (!path_variable.empty()) out += path_variable + " = ";
+  if (mode == PathMode::kShortest) out += "shortestPath(";
+  if (mode == PathMode::kAllShortest) out += "allShortestPaths(";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += nodes[i].ToString();
+    if (i < rels.size()) out += rels[i].ToString();
+  }
+  if (mode != PathMode::kNormal) out += ")";
+  return out;
+}
+
+}  // namespace seraph

@@ -1,0 +1,43 @@
+// Built-in function registry: scalar functions evaluated per row, and the
+// set of aggregating functions computed per group by the executor.
+#ifndef SERAPH_CYPHER_FUNCTIONS_H_
+#define SERAPH_CYPHER_FUNCTIONS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "value/value.h"
+
+namespace seraph {
+
+class EvalContext;
+
+// True for aggregating functions: count, sum, avg, min, max, collect,
+// stDev, stDevP, percentileCont, percentileDisc. `name` must be
+// lower-cased.
+bool IsAggregateFunction(const std::string& name);
+
+// True if `name` (lower-cased) denotes a known scalar function.
+bool IsScalarFunction(const std::string& name);
+
+// Invokes scalar function `name` (lower-cased) on already-evaluated
+// `args`. Most functions return null on null input; arity or type misuse
+// yields kEvaluationError.
+Result<Value> CallScalarFunction(const std::string& name,
+                                 const std::vector<Value>& args,
+                                 EvalContext& ctx);
+
+// Folds the per-row input values of one aggregate call into its result.
+// `distinct` applies duplicate elimination first. Null inputs are skipped
+// (except count(*), which the executor handles directly). `param` carries
+// the second argument of two-argument aggregates (the percentile of
+// percentileCont / percentileDisc), evaluated once per group.
+Result<Value> ComputeAggregate(const std::string& name, bool distinct,
+                               const std::vector<Value>& inputs,
+                               const std::optional<Value>& param = {});
+
+}  // namespace seraph
+
+#endif  // SERAPH_CYPHER_FUNCTIONS_H_

@@ -1,0 +1,22 @@
+// Hand-written tokenizer for Cypher / Seraph query text.
+#ifndef SERAPH_CYPHER_LEXER_H_
+#define SERAPH_CYPHER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/token.h"
+
+namespace seraph {
+
+// Tokenizes `text`, appending a trailing kEnd token. Supports `//` line
+// comments and `/* */` block comments, decimal integer/float literals,
+// single- or double-quoted strings with backslash escapes, backquoted
+// identifiers, and `$param` markers.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace seraph
+
+#endif  // SERAPH_CYPHER_LEXER_H_

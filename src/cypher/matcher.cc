@@ -1,0 +1,549 @@
+#include "cypher/matcher.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace seraph {
+
+namespace {
+
+// Default expansion cap for unbounded variable-length patterns: the
+// relationship-uniqueness rule already bounds expansion by |R|, so this is
+// a pure safety net against pathological graphs.
+constexpr int64_t kUnboundedHops = 1'000'000;
+
+// Variables a single path pattern mentions (node, rel, and path vars).
+std::set<std::string> PathPatternVariables(const PathPattern& path) {
+  std::set<std::string> vars;
+  if (!path.path_variable.empty()) vars.insert(path.path_variable);
+  for (const NodePattern& np : path.nodes) {
+    if (!np.variable.empty()) vars.insert(np.variable);
+  }
+  for (const RelPattern& rp : path.rels) {
+    if (!rp.variable.empty()) vars.insert(rp.variable);
+  }
+  return vars;
+}
+
+// Cost estimate for starting a pattern with no bound variable: the size of
+// its cheapest node seed set.
+size_t SeedCost(const PathPattern& path, const PropertyGraph& graph) {
+  size_t best = graph.num_nodes();
+  for (const NodePattern& np : path.nodes) {
+    if (!np.labels.empty()) {
+      best = std::min(best, graph.NodesWithLabel(np.labels[0]).size());
+    }
+  }
+  return best;
+}
+
+// Greedy join order: repeatedly pick the pattern that is connected to the
+// already-bound variables (cheap: it starts from a pinned node), breaking
+// ties — and seeding the very first choice — by label-index selectivity.
+std::vector<size_t> PlanPatternOrder(
+    const std::vector<const PathPattern*>& patterns,
+    const PropertyGraph& graph, const Record& input) {
+  std::set<std::string> bound;
+  for (const auto& [name, value] : input) bound.insert(name);
+  std::vector<std::set<std::string>> vars;
+  vars.reserve(patterns.size());
+  for (const PathPattern* p : patterns) {
+    vars.push_back(PathPatternVariables(*p));
+  }
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  while (order.size() < patterns.size()) {
+    size_t best = patterns.size();
+    bool best_connected = false;
+    size_t best_cost = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (const std::string& v : vars[i]) {
+        if (bound.contains(v)) {
+          connected = true;
+          break;
+        }
+      }
+      size_t cost = connected ? 0 : SeedCost(*patterns[i], graph);
+      if (best == patterns.size() ||
+          (connected && !best_connected) ||
+          (connected == best_connected && cost < best_cost)) {
+        best = i;
+        best_connected = connected;
+        best_cost = cost;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    bound.insert(vars[best].begin(), vars[best].end());
+  }
+  return order;
+}
+
+// DFS matcher for the patterns of one MATCH clause.
+class Matcher {
+ public:
+  Matcher(const PropertyGraph& graph, EvalContext& ctx,
+          std::vector<const PathPattern*> patterns, std::vector<Record>* out)
+      : graph_(graph), ctx_(ctx), patterns_(std::move(patterns)), out_(out) {
+    order_.resize(patterns_.size());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  }
+
+  void set_order(std::vector<size_t> order) { order_ = std::move(order); }
+
+  Status Run(const Record& input) {
+    current_ = input;
+    return MatchPattern(0);
+  }
+
+ private:
+  // ---- Pattern-list driver ----
+
+  Status MatchPattern(size_t pattern_idx) {
+    if (pattern_idx == patterns_.size()) {
+      out_->push_back(current_);
+      return Status::OK();
+    }
+    const PathPattern& path = *patterns_[order_[pattern_idx]];
+    if (path.mode != PathMode::kNormal) {
+      return MatchShortest(path, pattern_idx);
+    }
+    PathValue trail;
+    return MatchNode(path, 0, pattern_idx, /*forced=*/nullptr, &trail);
+  }
+
+  // ---- Chain traversal ----
+
+  // Matches node pattern `node_idx` of `path`. `forced` pins the candidate
+  // (the endpoint reached through the previous relationship).
+  Status MatchNode(const PathPattern& path, size_t node_idx,
+                   size_t pattern_idx, const NodeId* forced,
+                   PathValue* trail) {
+    const NodePattern& np = path.nodes[node_idx];
+    auto try_candidate = [&](NodeId id) -> Status {
+      SERAPH_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(id, np));
+      if (!ok) return Status::OK();
+      bool bound_here = false;
+      if (!np.variable.empty()) {
+        const Value* existing = current_.Find(np.variable);
+        if (existing != nullptr) {
+          if (!existing->is_node() || existing->AsNode() != id) {
+            return Status::OK();
+          }
+        } else {
+          current_.Set(np.variable, Value::Node(id));
+          bound_here = true;
+        }
+      }
+      trail->nodes.push_back(id);
+      Status s;
+      if (node_idx + 1 < path.nodes.size()) {
+        s = MatchRel(path, node_idx, pattern_idx, id, trail);
+      } else {
+        s = FinishPath(path, pattern_idx, trail);
+      }
+      trail->nodes.pop_back();
+      if (bound_here) current_.Erase(np.variable);
+      return s;
+    };
+
+    if (forced != nullptr) {
+      return try_candidate(*forced);
+    }
+    // A pre-bound variable pins the candidate.
+    if (!np.variable.empty()) {
+      const Value* existing = current_.Find(np.variable);
+      if (existing != nullptr) {
+        if (!existing->is_node()) return Status::OK();
+        return try_candidate(existing->AsNode());
+      }
+    }
+    // Seed from the label index when possible, else scan all nodes.
+    if (!np.labels.empty()) {
+      for (NodeId id : graph_.NodesWithLabel(np.labels[0])) {
+        SERAPH_RETURN_IF_ERROR(try_candidate(id));
+      }
+      return Status::OK();
+    }
+    for (NodeId id : graph_.NodeIds()) {
+      SERAPH_RETURN_IF_ERROR(try_candidate(id));
+    }
+    return Status::OK();
+  }
+
+  // Matches relationship pattern `node_idx` (between nodes node_idx and
+  // node_idx+1) starting from `from`.
+  Status MatchRel(const PathPattern& path, size_t node_idx, size_t pattern_idx,
+                  NodeId from, PathValue* trail) {
+    const RelPattern& rp = path.rels[node_idx];
+    if (rp.variable_length) {
+      return MatchVarLength(path, node_idx, pattern_idx, from, trail);
+    }
+    auto try_rel = [&](RelId rid, NodeId next) -> Status {
+      if (used_rels_.contains(rid)) return Status::OK();
+      SERAPH_ASSIGN_OR_RETURN(bool ok, RelSatisfies(rid, rp));
+      if (!ok) return Status::OK();
+      bool bound_here = false;
+      if (!rp.variable.empty()) {
+        const Value* existing = current_.Find(rp.variable);
+        if (existing != nullptr) {
+          if (!existing->is_relationship() ||
+              existing->AsRelationship() != rid) {
+            return Status::OK();
+          }
+        } else {
+          current_.Set(rp.variable, Value::Relationship(rid));
+          bound_here = true;
+        }
+      }
+      used_rels_.insert(rid);
+      trail->rels.push_back(rid);
+      Status s = MatchNode(path, node_idx + 1, pattern_idx, &next, trail);
+      trail->rels.pop_back();
+      used_rels_.erase(rid);
+      if (bound_here) current_.Erase(rp.variable);
+      return s;
+    };
+
+    return ForEachIncident(from, rp.direction, [&](RelId rid, NodeId other) {
+      return try_rel(rid, other);
+    });
+  }
+
+  // Expands a variable-length relationship pattern from `from`, then
+  // continues with the next node pattern at every admissible depth.
+  Status MatchVarLength(const PathPattern& path, size_t node_idx,
+                        size_t pattern_idx, NodeId from, PathValue* trail) {
+    const RelPattern& rp = path.rels[node_idx];
+    int64_t min_hops = rp.min_hops.value_or(1);
+    int64_t max_hops = rp.max_hops.value_or(kUnboundedHops);
+    std::vector<Value> rel_values;  // The list bound to the rel variable.
+
+    // Depth-first expansion; at every depth in [min, max] we also try to
+    // finish the segment at the current endpoint. Invariant: every node of
+    // the trail is pushed by exactly one MatchNode call or one traversal
+    // step, so before handing the endpoint to the next node pattern's
+    // MatchNode (which pushes it itself) we temporarily pop it.
+    std::function<Status(NodeId, int64_t)> expand =
+        [&](NodeId at, int64_t depth) -> Status {
+      if (depth >= min_hops) {
+        bool bound_here = false;
+        if (!rp.variable.empty()) {
+          // A variable-length variable binds to the relationship list; it
+          // cannot be pre-bound (rejected by the parser).
+          current_.Set(rp.variable, Value::MakeList(rel_values));
+          bound_here = true;
+        }
+        trail->nodes.pop_back();
+        Status finish = MatchNode(path, node_idx + 1, pattern_idx, &at, trail);
+        trail->nodes.push_back(at);
+        if (bound_here) current_.Erase(rp.variable);
+        SERAPH_RETURN_IF_ERROR(finish);
+      }
+      if (depth == max_hops) return Status::OK();
+      return ForEachIncident(
+          at, rp.direction, [&](RelId rid, NodeId other) -> Status {
+            if (used_rels_.contains(rid)) return Status::OK();
+            SERAPH_ASSIGN_OR_RETURN(bool ok, RelSatisfies(rid, rp));
+            if (!ok) return Status::OK();
+            used_rels_.insert(rid);
+            rel_values.push_back(Value::Relationship(rid));
+            trail->rels.push_back(rid);
+            trail->nodes.push_back(other);
+            Status s = expand(other, depth + 1);
+            trail->nodes.pop_back();
+            trail->rels.pop_back();
+            rel_values.pop_back();
+            used_rels_.erase(rid);
+            return s;
+          });
+    };
+    return expand(from, 0);
+  }
+
+  // Completes one path pattern: binds its path variable (if any) and moves
+  // on to the next pattern in the clause.
+  Status FinishPath(const PathPattern& path, size_t pattern_idx,
+                    PathValue* trail) {
+    bool bound_here = false;
+    if (!path.path_variable.empty()) {
+      PathValue value = *trail;
+      current_.Set(path.path_variable, Value::Path(std::move(value)));
+      bound_here = true;
+    }
+    // Relationships of this completed pattern stay "used" for the
+    // remaining patterns of the clause.
+    std::vector<RelId> pinned = trail->rels;
+    for (RelId r : pinned) clause_rels_.insert(r);
+    std::set<RelId> saved_used = used_rels_;
+    used_rels_.clear();
+    used_rels_.insert(clause_rels_.begin(), clause_rels_.end());
+    Status s = MatchPattern(pattern_idx + 1);
+    used_rels_ = std::move(saved_used);
+    for (RelId r : pinned) clause_rels_.erase(r);
+    if (bound_here) current_.Erase(path.path_variable);
+    return s;
+  }
+
+  // ---- shortestPath ----
+
+  Status MatchShortest(const PathPattern& path, size_t pattern_idx) {
+    if (path.nodes.size() != 2 || path.rels.size() != 1) {
+      return Status::SemanticError(
+          "shortestPath() requires a single relationship pattern between "
+          "two nodes");
+    }
+    const RelPattern& rp = path.rels[0];
+    // Enumerate source candidates, BFS to every target candidate.
+    const NodePattern& src_np = path.nodes[0];
+    const NodePattern& dst_np = path.nodes[1];
+    SERAPH_ASSIGN_OR_RETURN(std::vector<NodeId> sources,
+                            CandidateNodes(src_np));
+    for (NodeId src : sources) {
+      bool src_bound_here = false;
+      if (!src_np.variable.empty() && !current_.Has(src_np.variable)) {
+        current_.Set(src_np.variable, Value::Node(src));
+        src_bound_here = true;
+      }
+      SERAPH_ASSIGN_OR_RETURN(std::vector<NodeId> targets,
+                              CandidateNodes(dst_np));
+      for (NodeId dst : targets) {
+        if (dst == src) continue;
+        bool dst_bound_here = false;
+        if (!dst_np.variable.empty() && !current_.Has(dst_np.variable)) {
+          current_.Set(dst_np.variable, Value::Node(dst));
+          dst_bound_here = true;
+        }
+        SERAPH_RETURN_IF_ERROR(EmitShortestPaths(path, rp, src, dst,
+                                                 pattern_idx));
+        if (dst_bound_here) current_.Erase(dst_np.variable);
+      }
+      if (src_bound_here) current_.Erase(src_np.variable);
+    }
+    return Status::OK();
+  }
+
+  // BFS from src to dst; emits the first shortest path (kShortest) or all
+  // paths of minimal length (kAllShortest).
+  Status EmitShortestPaths(const PathPattern& path, const RelPattern& rp,
+                           NodeId src, NodeId dst, size_t pattern_idx) {
+    int64_t max_hops = rp.max_hops.value_or(kUnboundedHops);
+    int64_t min_hops = rp.min_hops.value_or(1);
+    // BFS computing distance labels.
+    std::unordered_map<NodeId, int64_t> dist;
+    dist[src] = 0;
+    std::deque<NodeId> frontier{src};
+    bool reached = false;
+    while (!frontier.empty() && !reached) {
+      NodeId at = frontier.front();
+      frontier.pop_front();
+      if (dist[at] == max_hops) continue;
+      Status s = ForEachIncident(
+          at, rp.direction, [&](RelId rid, NodeId other) -> Status {
+            SERAPH_ASSIGN_OR_RETURN(bool ok, RelSatisfies(rid, rp));
+            if (!ok) return Status::OK();
+            if (!dist.contains(other)) {
+              dist[other] = dist[at] + 1;
+              if (other == dst) reached = true;
+              frontier.push_back(other);
+            }
+            return Status::OK();
+          });
+      if (!s.ok()) return s;
+    }
+    auto it = dist.find(dst);
+    if (it == dist.end() || it->second < min_hops) return Status::OK();
+    int64_t shortest = it->second;
+    // Enumerate paths of exactly `shortest` hops via depth-limited DFS
+    // guided by the distance labels (each step must decrease the remaining
+    // distance, so this only walks shortest paths).
+    PathValue trail;
+    trail.nodes.push_back(src);
+    bool emitted = false;
+    std::function<Status(NodeId)> walk = [&](NodeId at) -> Status {
+      if (emitted && path.mode == PathMode::kShortest) return Status::OK();
+      int64_t at_depth = static_cast<int64_t>(trail.rels.size());
+      if (at == dst && at_depth == shortest) {
+        emitted = true;
+        return EmitPath(path, trail, pattern_idx);
+      }
+      if (at_depth == shortest) return Status::OK();
+      return ForEachIncident(
+          at, rp.direction, [&](RelId rid, NodeId other) -> Status {
+            if (emitted && path.mode == PathMode::kShortest) {
+              return Status::OK();
+            }
+            SERAPH_ASSIGN_OR_RETURN(bool ok, RelSatisfies(rid, rp));
+            if (!ok) return Status::OK();
+            // Prune: `other` must be strictly closer to completion.
+            auto dother = dist.find(other);
+            if (dother == dist.end() || dother->second != at_depth + 1) {
+              return Status::OK();
+            }
+            trail.rels.push_back(rid);
+            trail.nodes.push_back(other);
+            Status s = walk(other);
+            trail.nodes.pop_back();
+            trail.rels.pop_back();
+            return s;
+          });
+    };
+    return walk(src);
+  }
+
+  // Binds the path variable / relationship list of a shortest path and
+  // continues with the remaining patterns.
+  Status EmitPath(const PathPattern& path, const PathValue& trail,
+                  size_t pattern_idx) {
+    const RelPattern& rp = path.rels[0];
+    bool rel_bound = false;
+    if (!rp.variable.empty()) {
+      Value::List rels;
+      for (RelId r : trail.rels) rels.push_back(Value::Relationship(r));
+      current_.Set(rp.variable, Value::MakeList(std::move(rels)));
+      rel_bound = true;
+    }
+    bool path_bound = false;
+    if (!path.path_variable.empty()) {
+      current_.Set(path.path_variable, Value::Path(trail));
+      path_bound = true;
+    }
+    Status s = MatchPattern(pattern_idx + 1);
+    if (path_bound) current_.Erase(path.path_variable);
+    if (rel_bound) current_.Erase(rp.variable);
+    return s;
+  }
+
+  // ---- Candidate enumeration and constraint checks ----
+
+  Result<std::vector<NodeId>> CandidateNodes(const NodePattern& np) {
+    std::vector<NodeId> out;
+    if (!np.variable.empty()) {
+      const Value* existing = current_.Find(np.variable);
+      if (existing != nullptr) {
+        if (existing->is_node()) {
+          SERAPH_ASSIGN_OR_RETURN(bool ok,
+                                  NodeSatisfies(existing->AsNode(), np));
+          if (ok) out.push_back(existing->AsNode());
+        }
+        return out;
+      }
+    }
+    std::vector<NodeId> seeds = np.labels.empty()
+                                    ? graph_.NodeIds()
+                                    : graph_.NodesWithLabel(np.labels[0]);
+    for (NodeId id : seeds) {
+      SERAPH_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(id, np));
+      if (ok) out.push_back(id);
+    }
+    return out;
+  }
+
+  Result<bool> NodeSatisfies(NodeId id, const NodePattern& np) {
+    const NodeData* data = graph_.node(id);
+    if (data == nullptr) return false;
+    for (const std::string& label : np.labels) {
+      if (!data->labels.contains(label)) return false;
+    }
+    for (const auto& [key, expr] : np.properties) {
+      ctx_.set_record(&current_);
+      SERAPH_ASSIGN_OR_RETURN(Value expected, expr->Eval(ctx_));
+      auto it = data->properties.find(key);
+      if (it == data->properties.end()) return false;
+      if (!IsTruthy(CypherEquals(it->second, expected))) return false;
+    }
+    return true;
+  }
+
+  Result<bool> RelSatisfies(RelId id, const RelPattern& rp) {
+    const RelData* data = graph_.relationship(id);
+    if (data == nullptr) return false;
+    if (!rp.types.empty()) {
+      bool any = false;
+      for (const std::string& type : rp.types) {
+        if (data->type == type) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    for (const auto& [key, expr] : rp.properties) {
+      ctx_.set_record(&current_);
+      SERAPH_ASSIGN_OR_RETURN(Value expected, expr->Eval(ctx_));
+      auto it = data->properties.find(key);
+      if (it == data->properties.end()) return false;
+      if (!IsTruthy(CypherEquals(it->second, expected))) return false;
+    }
+    return true;
+  }
+
+  // Applies `fn(rel, other_endpoint)` for each relationship incident to
+  // `from` admissible under `direction`.
+  Status ForEachIncident(NodeId from, RelDirection direction,
+                         const std::function<Status(RelId, NodeId)>& fn) {
+    if (direction != RelDirection::kIncoming) {
+      for (RelId rid : graph_.OutRelationships(from)) {
+        const RelData* data = graph_.relationship(rid);
+        SERAPH_RETURN_IF_ERROR(fn(rid, data->trg));
+      }
+    }
+    if (direction != RelDirection::kOutgoing) {
+      for (RelId rid : graph_.InRelationships(from)) {
+        const RelData* data = graph_.relationship(rid);
+        if (data->src == data->trg) continue;  // Self-loop seen via out.
+        SERAPH_RETURN_IF_ERROR(fn(rid, data->src));
+      }
+    }
+    return Status::OK();
+  }
+
+  const PropertyGraph& graph_;
+  EvalContext& ctx_;
+  const std::vector<const PathPattern*> patterns_;
+  std::vector<Record>* out_;
+  // Processing order over patterns_ (a permutation; see PlanPatternOrder).
+  std::vector<size_t> order_;
+
+  Record current_;
+  // Relationships used by the pattern currently being traversed.
+  std::set<RelId> used_rels_;
+  // Relationships pinned by already-completed patterns of this clause.
+  std::set<RelId> clause_rels_;
+};
+
+}  // namespace
+
+Status MatchPatterns(const std::vector<PathPattern>& patterns,
+                     const PropertyGraph& graph, const Record& input,
+                     EvalContext& ctx, std::vector<Record>* out,
+                     const MatchOptions& options) {
+  std::vector<const PathPattern*> views;
+  views.reserve(patterns.size());
+  for (const PathPattern& p : patterns) views.push_back(&p);
+  Matcher matcher(graph, ctx, views, out);
+  if (options.optimize_pattern_order && views.size() > 1) {
+    matcher.set_order(PlanPatternOrder(views, graph, input));
+  }
+  const Record* saved = ctx.record();
+  Status s = matcher.Run(input);
+  ctx.set_record(saved);
+  return s;
+}
+
+Status MatchSinglePattern(const PathPattern& pattern,
+                          const PropertyGraph& graph, const Record& input,
+                          EvalContext& ctx, std::vector<Record>* out) {
+  Matcher matcher(graph, ctx, {&pattern}, out);
+  const Record* saved = ctx.record();
+  Status s = matcher.Run(input);
+  ctx.set_record(saved);
+  return s;
+}
+
+}  // namespace seraph

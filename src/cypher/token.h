@@ -1,0 +1,66 @@
+// Lexical tokens for the Cypher / Seraph grammar (Figs. 3 and 6).
+//
+// Keywords are not distinguished lexically: Cypher keywords are
+// case-insensitive and may be used as identifiers in some positions, so the
+// lexer emits kIdentifier and the parser matches keywords by
+// case-insensitive text.
+#ifndef SERAPH_CYPHER_TOKEN_H_
+#define SERAPH_CYPHER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seraph {
+
+enum class TokenKind {
+  kEnd,         // End of input.
+  kIdentifier,  // Names and keywords (case preserved).
+  kInteger,     // 123
+  kFloat,       // 1.5, .5, 1e3
+  kString,      // 'abc' or "abc" (value unescaped)
+  kParameter,   // $name
+  // Punctuation / operators.
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kColon,       // :
+  kSemicolon,   // ;
+  kDot,         // .
+  kDotDot,      // ..
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kCaret,       // ^
+  kEq,          // =
+  kNeq,         // <>
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kPipe,        // |
+};
+
+// Returns a printable token-kind name for diagnostics.
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  // Identifier text, keyword text (case preserved), string value
+  // (unescaped), or numeric spelling.
+  std::string text;
+  int64_t int_value = 0;     // Valid when kind == kInteger.
+  double float_value = 0.0;  // Valid when kind == kFloat.
+  // 1-based source position for error messages.
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_CYPHER_TOKEN_H_

@@ -1,0 +1,108 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace seraph {
+
+namespace {
+
+// Applies `fn` to each neighbour of `at` (undirected, type-filtered).
+template <typename Fn>
+void ForEachNeighbor(const PropertyGraph& graph, NodeId at,
+                     const TraversalOptions& options, Fn fn) {
+  for (RelId rid : graph.OutRelationships(at)) {
+    const RelData* rel = graph.relationship(rid);
+    if (!options.type.empty() && rel->type != options.type) continue;
+    fn(rel->trg);
+  }
+  for (RelId rid : graph.InRelationships(at)) {
+    const RelData* rel = graph.relationship(rid);
+    if (!options.type.empty() && rel->type != options.type) continue;
+    fn(rel->src);
+  }
+}
+
+}  // namespace
+
+std::unordered_map<NodeId, int64_t> ConnectedComponents(
+    const PropertyGraph& graph, const TraversalOptions& options) {
+  std::unordered_map<NodeId, int64_t> component;
+  component.reserve(graph.num_nodes());
+  // NodeIds() is ascending, so the first unvisited node of a component is
+  // also its smallest id.
+  for (NodeId seed : graph.NodeIds()) {
+    if (component.contains(seed)) continue;
+    std::deque<NodeId> frontier{seed};
+    component[seed] = seed.value;
+    while (!frontier.empty()) {
+      NodeId at = frontier.front();
+      frontier.pop_front();
+      ForEachNeighbor(graph, at, options, [&](NodeId next) {
+        if (component.try_emplace(next, seed.value).second) {
+          frontier.push_back(next);
+        }
+      });
+    }
+  }
+  return component;
+}
+
+size_t CountConnectedComponents(const PropertyGraph& graph,
+                                const TraversalOptions& options) {
+  auto components = ConnectedComponents(graph, options);
+  std::vector<int64_t> ids;
+  ids.reserve(components.size());
+  for (const auto& [node, id] : components) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+std::unordered_map<NodeId, int64_t> HopDistances(
+    const PropertyGraph& graph, NodeId source,
+    const TraversalOptions& options) {
+  std::unordered_map<NodeId, int64_t> dist;
+  if (!graph.HasNode(source)) return dist;
+  dist[source] = 0;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    NodeId at = frontier.front();
+    frontier.pop_front();
+    int64_t d = dist[at];
+    ForEachNeighbor(graph, at, options, [&](NodeId next) {
+      if (dist.try_emplace(next, d + 1).second) {
+        frontier.push_back(next);
+      }
+    });
+  }
+  return dist;
+}
+
+bool Reachable(const PropertyGraph& graph, NodeId source, NodeId target,
+               const TraversalOptions& options) {
+  if (source == target) return graph.HasNode(source);
+  auto dist = HopDistances(graph, source, options);
+  return dist.contains(target);
+}
+
+DegreeStats ComputeDegreeStats(const PropertyGraph& graph) {
+  DegreeStats stats;
+  if (graph.num_nodes() == 0) return stats;
+  size_t total = 0;
+  bool first = true;
+  for (NodeId id : graph.NodeIds()) {
+    size_t degree =
+        graph.OutRelationships(id).size() + graph.InRelationships(id).size();
+    ++stats.distribution[degree];
+    total += degree;
+    if (first || degree < stats.min) stats.min = degree;
+    if (first || degree > stats.max) stats.max = degree;
+    first = false;
+  }
+  stats.mean = static_cast<double>(total) /
+               static_cast<double>(graph.num_nodes());
+  return stats;
+}
+
+}  // namespace seraph

@@ -1,0 +1,57 @@
+// Graph algorithms over property graphs, supporting the network-
+// monitoring use case (§4.1: "connections are redundant if ... no rack
+// can become unreachable") and general snapshot introspection.
+//
+// All algorithms treat relationships as undirected unless stated
+// otherwise and optionally restrict traversal to a relationship type.
+#ifndef SERAPH_GRAPH_ALGORITHMS_H_
+#define SERAPH_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace seraph {
+
+// Traversal restriction: empty `type` means every relationship type.
+struct TraversalOptions {
+  std::string type;
+};
+
+// Connected components (undirected). Returns a map node → component id;
+// component ids are the smallest node id in each component.
+std::unordered_map<NodeId, int64_t> ConnectedComponents(
+    const PropertyGraph& graph, const TraversalOptions& options = {});
+
+// Number of connected components.
+size_t CountConnectedComponents(const PropertyGraph& graph,
+                                const TraversalOptions& options = {});
+
+// BFS hop distance from `source` to every reachable node (undirected).
+std::unordered_map<NodeId, int64_t> HopDistances(
+    const PropertyGraph& graph, NodeId source,
+    const TraversalOptions& options = {});
+
+// True iff `target` is reachable from `source` (undirected).
+bool Reachable(const PropertyGraph& graph, NodeId source, NodeId target,
+               const TraversalOptions& options = {});
+
+// Degree statistics (in + out degree per node).
+struct DegreeStats {
+  size_t min = 0;
+  size_t max = 0;
+  double mean = 0.0;
+  // degree → number of nodes with that degree.
+  std::map<size_t, size_t> distribution;
+};
+
+DegreeStats ComputeDegreeStats(const PropertyGraph& graph);
+
+}  // namespace seraph
+
+#endif  // SERAPH_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,59 @@
+// Fluent construction helper for property graphs, used by workload
+// generators, examples, and tests:
+//
+//   PropertyGraph g = GraphBuilder()
+//       .Node(1, {"Station"}, {{"id", Value::Int(1)}})
+//       .Node(5, {"E-Bike"}, {{"id", Value::Int(5)}})
+//       .Rel(1, 5, 1, "rentedAt", {{"user_id", Value::Int(1234)}})
+//       .Build();
+#ifndef SERAPH_GRAPH_GRAPH_BUILDER_H_
+#define SERAPH_GRAPH_GRAPH_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/property_graph.h"
+
+namespace seraph {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Adds (or merges) a node. Repeated ids merge, mirroring stream ingestion.
+  GraphBuilder& Node(int64_t id, std::initializer_list<std::string> labels,
+                     Value::Map properties = {}) {
+    NodeData data;
+    data.labels.insert(labels.begin(), labels.end());
+    data.properties = std::move(properties);
+    graph_.MergeNode(NodeId{id}, data);
+    return *this;
+  }
+
+  // Adds a relationship `src -[type]-> trg`. Endpoints must already exist
+  // (declare nodes first); a violation is a test-authoring bug and aborts.
+  GraphBuilder& Rel(int64_t id, int64_t src, int64_t trg, std::string type,
+                    Value::Map properties = {}) {
+    RelData data;
+    data.type = std::move(type);
+    data.src = NodeId{src};
+    data.trg = NodeId{trg};
+    data.properties = std::move(properties);
+    Status s = graph_.AddRelationship(RelId{id}, std::move(data));
+    SERAPH_CHECK(s.ok()) << s.ToString();
+    return *this;
+  }
+
+  // Consumes the builder; usable at the end of a chained temporary.
+  PropertyGraph Build() { return std::move(graph_); }
+  const PropertyGraph& graph() const { return graph_; }
+
+ private:
+  PropertyGraph graph_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_GRAPH_GRAPH_BUILDER_H_

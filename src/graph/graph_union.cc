@@ -1,0 +1,92 @@
+#include "graph/graph_union.h"
+
+namespace seraph {
+
+namespace {
+
+// Checks agreement of the partial property functions ι1 and ι2 on a shared
+// entity: every key defined by both must map to the same value.
+bool PropertiesAgree(const Value::Map& a, const Value::Map& b) {
+  const Value::Map& small = a.size() <= b.size() ? a : b;
+  const Value::Map& large = a.size() <= b.size() ? b : a;
+  for (const auto& [key, value] : small) {
+    auto it = large.find(key);
+    if (it != large.end() && !(it->second == value)) return false;
+  }
+  return true;
+}
+
+Status CheckConsistent(const PropertyGraph& g1, const PropertyGraph& g2) {
+  // Iterate over the smaller graph's entities for the overlap check.
+  const PropertyGraph& small =
+      g1.num_nodes() + g1.num_relationships() <=
+              g2.num_nodes() + g2.num_relationships()
+          ? g1
+          : g2;
+  const PropertyGraph& large = (&small == &g1) ? g2 : g1;
+  for (NodeId id : small.NodeIds()) {
+    const NodeData* a = small.node(id);
+    const NodeData* b = large.node(id);
+    if (b == nullptr) continue;
+    if (a->labels != b->labels) {
+      return Status::Inconsistent("node " + std::to_string(id.value) +
+                                  ": conflicting label sets");
+    }
+    if (!PropertiesAgree(a->properties, b->properties)) {
+      return Status::Inconsistent("node " + std::to_string(id.value) +
+                                  ": conflicting property values");
+    }
+  }
+  for (RelId id : small.RelationshipIds()) {
+    const RelData* a = small.relationship(id);
+    const RelData* b = large.relationship(id);
+    if (b == nullptr) continue;
+    if (a->src != b->src || a->trg != b->trg || a->type != b->type) {
+      return Status::Inconsistent("relationship " + std::to_string(id.value) +
+                                  ": conflicting endpoints or type");
+    }
+    if (!PropertiesAgree(a->properties, b->properties)) {
+      return Status::Inconsistent("relationship " + std::to_string(id.value) +
+                                  ": conflicting property values");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PropertyGraph> StrictUnion(const PropertyGraph& g1,
+                                  const PropertyGraph& g2) {
+  SERAPH_RETURN_IF_ERROR(CheckConsistent(g1, g2));
+  PropertyGraph out = g1;
+  // Consistency was verified, so merge semantics coincide with function
+  // union here.
+  Status s = MergeInto(&out, g2);
+  if (!s.ok()) return s;
+  return out;
+}
+
+bool AreConsistent(const PropertyGraph& g1, const PropertyGraph& g2) {
+  return CheckConsistent(g1, g2).ok();
+}
+
+Status MergeInto(PropertyGraph* target, const PropertyGraph& source) {
+  for (NodeId id : source.NodeIds()) {
+    target->MergeNode(id, *source.node(id));
+  }
+  for (RelId id : source.RelationshipIds()) {
+    SERAPH_RETURN_IF_ERROR(
+        target->MergeRelationship(id, *source.relationship(id)));
+  }
+  return Status::OK();
+}
+
+Result<PropertyGraph> MergeUnion(const PropertyGraph& g1,
+                                 const PropertyGraph& g2) {
+  PropertyGraph out = g1;
+  Status s = MergeInto(&out, g2);
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace seraph

@@ -1,0 +1,40 @@
+// Union of property graphs under the Unique Name Assumption (Def. 5.4).
+//
+// Two flavours are provided:
+//  * `StrictUnion` — the paper's definition: the component-wise union of
+//    (N, R, src, trg, ι, λ, κ) is a graph only if the operands are
+//    *consistent*, i.e. agree wherever their partial functions overlap;
+//    otherwise the union is undefined (reported as kInconsistent).
+//  * `MergeUnion` / `MergeInto` — ingestion-style merge (Listing 4 /
+//    Neo4j Kafka connector): label sets union, later property values win.
+//    This is what snapshot-graph construction (Def. 5.5) uses, applying
+//    stream elements in timestamp order.
+#ifndef SERAPH_GRAPH_GRAPH_UNION_H_
+#define SERAPH_GRAPH_GRAPH_UNION_H_
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace seraph {
+
+// Returns G1 ∪ G2 per Def. 5.4, or kInconsistent when the operands
+// disagree on a shared node's labels/properties or a shared relationship's
+// endpoints, type, or properties.
+Result<PropertyGraph> StrictUnion(const PropertyGraph& g1,
+                                  const PropertyGraph& g2);
+
+// True iff StrictUnion(g1, g2) would succeed.
+bool AreConsistent(const PropertyGraph& g1, const PropertyGraph& g2);
+
+// Merges `source` into `*target` (label union; `source` property values
+// win per key). Fails only when a shared relationship id has conflicting
+// endpoints or type — property conflicts are resolved, not rejected.
+Status MergeInto(PropertyGraph* target, const PropertyGraph& source);
+
+// Convenience: copies `g1` and merges `g2` into it.
+Result<PropertyGraph> MergeUnion(const PropertyGraph& g1,
+                                 const PropertyGraph& g2);
+
+}  // namespace seraph
+
+#endif  // SERAPH_GRAPH_GRAPH_UNION_H_

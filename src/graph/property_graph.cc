@@ -1,0 +1,247 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace seraph {
+
+namespace {
+const std::vector<RelId>& EmptyRelList() {
+  static const std::vector<RelId>* kEmpty = new std::vector<RelId>();
+  return *kEmpty;
+}
+}  // namespace
+
+Status PropertyGraph::AddNode(NodeId id, NodeData data) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id.value) +
+                                 " already exists");
+  }
+  it->second.data = std::move(data);
+  IndexNodeLabels(id, it->second.data);
+  return Status::OK();
+}
+
+Status PropertyGraph::AddRelationship(RelId id, RelData data) {
+  if (rels_.contains(id)) {
+    return Status::AlreadyExists("relationship " + std::to_string(id.value) +
+                                 " already exists");
+  }
+  auto src_it = nodes_.find(data.src);
+  auto trg_it = nodes_.find(data.trg);
+  if (src_it == nodes_.end() || trg_it == nodes_.end()) {
+    return Status::InvalidArgument(
+        "relationship " + std::to_string(id.value) +
+        " references a missing endpoint node");
+  }
+  src_it->second.out.push_back(id);
+  trg_it->second.in.push_back(id);
+  type_index_[data.type].insert(id);
+  rels_.emplace(id, std::move(data));
+  return Status::OK();
+}
+
+void PropertyGraph::MergeNode(NodeId id, const NodeData& data) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (inserted) {
+    it->second.data = data;
+    IndexNodeLabels(id, it->second.data);
+    return;
+  }
+  NodeData& existing = it->second.data;
+  for (const std::string& label : data.labels) {
+    if (existing.labels.insert(label).second) {
+      label_index_[label].insert(id);
+    }
+  }
+  for (const auto& [key, value] : data.properties) {
+    existing.properties[key] = value;  // Incoming value wins.
+  }
+}
+
+Status PropertyGraph::MergeRelationship(RelId id, const RelData& data) {
+  auto it = rels_.find(id);
+  if (it != rels_.end()) {
+    RelData& existing = it->second;
+    if (existing.src != data.src || existing.trg != data.trg ||
+        existing.type != data.type) {
+      return Status::Inconsistent(
+          "relationship " + std::to_string(id.value) +
+          " merged with conflicting endpoints or type");
+    }
+    for (const auto& [key, value] : data.properties) {
+      existing.properties[key] = value;
+    }
+    return Status::OK();
+  }
+  if (!nodes_.contains(data.src)) MergeNode(data.src, NodeData{});
+  if (!nodes_.contains(data.trg)) MergeNode(data.trg, NodeData{});
+  return AddRelationship(id, data);
+}
+
+void PropertyGraph::SetNodeData(NodeId id, NodeData data) {
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) UnindexNodeLabels(id, it->second.data);
+  it->second.data = std::move(data);
+  IndexNodeLabels(id, it->second.data);
+}
+
+Status PropertyGraph::SetRelationshipData(RelId id, RelData data) {
+  auto it = rels_.find(id);
+  if (it == rels_.end()) return AddRelationship(id, std::move(data));
+  RelData& existing = it->second;
+  if (existing.src != data.src || existing.trg != data.trg ||
+      existing.type != data.type) {
+    return Status::Inconsistent(
+        "relationship " + std::to_string(id.value) +
+        " payload replaced with conflicting endpoints or type");
+  }
+  existing.properties = std::move(data.properties);
+  return Status::OK();
+}
+
+void PropertyGraph::RemoveNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  // Copy: RemoveRelationship mutates the adjacency vectors.
+  std::vector<RelId> incident = it->second.out;
+  incident.insert(incident.end(), it->second.in.begin(), it->second.in.end());
+  for (RelId rid : incident) RemoveRelationship(rid);
+  UnindexNodeLabels(id, it->second.data);
+  nodes_.erase(id);
+}
+
+void PropertyGraph::RemoveRelationship(RelId id) {
+  auto it = rels_.find(id);
+  if (it == rels_.end()) return;
+  const RelData& data = it->second;
+  auto erase_from = [id](std::vector<RelId>* list) {
+    list->erase(std::remove(list->begin(), list->end(), id), list->end());
+  };
+  if (auto src_it = nodes_.find(data.src); src_it != nodes_.end()) {
+    erase_from(&src_it->second.out);
+  }
+  if (auto trg_it = nodes_.find(data.trg); trg_it != nodes_.end()) {
+    erase_from(&trg_it->second.in);
+  }
+  auto type_it = type_index_.find(data.type);
+  if (type_it != type_index_.end()) {
+    type_it->second.erase(id);
+    if (type_it->second.empty()) type_index_.erase(type_it);
+  }
+  rels_.erase(it);
+}
+
+void PropertyGraph::Clear() {
+  nodes_.clear();
+  rels_.clear();
+  label_index_.clear();
+  type_index_.clear();
+}
+
+const NodeData* PropertyGraph::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second.data;
+}
+
+const RelData* PropertyGraph::relationship(RelId id) const {
+  auto it = rels_.find(id);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> PropertyGraph::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<RelId> PropertyGraph::RelationshipIds() const {
+  std::vector<RelId> ids;
+  ids.reserve(rels_.size());
+  for (const auto& [id, data] : rels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const std::vector<RelId>& PropertyGraph::OutRelationships(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? EmptyRelList() : it->second.out;
+}
+
+const std::vector<RelId>& PropertyGraph::InRelationships(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? EmptyRelList() : it->second.in;
+}
+
+std::vector<NodeId> PropertyGraph::NodesWithLabel(
+    const std::string& label) const {
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return {};
+  return std::vector<NodeId>(it->second.begin(), it->second.end());
+}
+
+std::vector<RelId> PropertyGraph::RelationshipsWithType(
+    const std::string& type) const {
+  auto it = type_index_.find(type);
+  if (it == type_index_.end()) return {};
+  return std::vector<RelId>(it->second.begin(), it->second.end());
+}
+
+Value PropertyGraph::NodeProperty(NodeId id, const std::string& key) const {
+  const NodeData* data = node(id);
+  if (data == nullptr) return Value::Null();
+  auto it = data->properties.find(key);
+  return it == data->properties.end() ? Value::Null() : it->second;
+}
+
+Value PropertyGraph::RelationshipProperty(RelId id,
+                                          const std::string& key) const {
+  const RelData* data = relationship(id);
+  if (data == nullptr) return Value::Null();
+  auto it = data->properties.find(key);
+  return it == data->properties.end() ? Value::Null() : it->second;
+}
+
+void PropertyGraph::IndexNodeLabels(NodeId id, const NodeData& data) {
+  for (const std::string& label : data.labels) {
+    label_index_[label].insert(id);
+  }
+}
+
+void PropertyGraph::UnindexNodeLabels(NodeId id, const NodeData& data) {
+  for (const std::string& label : data.labels) {
+    auto it = label_index_.find(label);
+    if (it == label_index_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) label_index_.erase(it);
+  }
+}
+
+std::string PropertyGraph::DebugString() const {
+  std::ostringstream os;
+  for (NodeId id : NodeIds()) {
+    const NodeData& data = nodes_.at(id).data;
+    os << "(" << id.value;
+    for (const std::string& label : data.labels) os << ":" << label;
+    if (!data.properties.empty()) {
+      os << " " << Value::MakeMap(data.properties).ToString();
+    }
+    os << ")\n";
+  }
+  for (RelId id : RelationshipIds()) {
+    const RelData& data = rels_.at(id);
+    os << "(" << data.src.value << ")-[" << id.value << ":" << data.type;
+    if (!data.properties.empty()) {
+      os << " " << Value::MakeMap(data.properties).ToString();
+    }
+    os << "]->(" << data.trg.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace seraph

@@ -1,0 +1,162 @@
+// The property graph data model (Def. 3.1): a graph
+// Γ = (N, R, src, trg, ι, λ, κ) with node labels, relationship types, and
+// key→value properties on both nodes and relationships.
+//
+// `PropertyGraph` is a mutable in-memory store with secondary indexes
+// (label → nodes, type → relationships, per-node adjacency) maintained
+// incrementally; it is the substrate both for one-time Cypher evaluation
+// (Section 3) and for snapshot graphs built from stream windows (Def. 5.5).
+#ifndef SERAPH_GRAPH_PROPERTY_GRAPH_H_
+#define SERAPH_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "value/ids.h"
+#include "value/value.h"
+
+namespace seraph {
+
+// Per-node payload: the label set λ(n) and property map ι(n, ·).
+struct NodeData {
+  std::set<std::string> labels;
+  Value::Map properties;
+
+  friend bool operator==(const NodeData& a, const NodeData& b) {
+    return a.labels == b.labels && a.properties == b.properties;
+  }
+};
+
+// Per-relationship payload: type κ(r), endpoints src(r)/trg(r), and
+// property map ι(r, ·).
+struct RelData {
+  std::string type;
+  NodeId src;
+  NodeId trg;
+  Value::Map properties;
+
+  friend bool operator==(const RelData& a, const RelData& b) {
+    return a.type == b.type && a.src == b.src && a.trg == b.trg &&
+           a.properties == b.properties;
+  }
+};
+
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  PropertyGraph(const PropertyGraph&) = default;
+  PropertyGraph& operator=(const PropertyGraph&) = default;
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+
+  // ---- Mutation ----
+
+  // Inserts a new node. Fails with kAlreadyExists if `id` is present.
+  Status AddNode(NodeId id, NodeData data);
+
+  // Inserts a new relationship. Fails with kAlreadyExists if `id` is
+  // present, or kInvalidArgument if either endpoint node is missing.
+  Status AddRelationship(RelId id, RelData data);
+
+  // Upserts a node: creates it, or merges `data` into the existing one
+  // (label-set union; per-key properties, incoming value wins). This is the
+  // Neo4j-Kafka-connector-style MERGE ingestion of Listing 4.
+  void MergeNode(NodeId id, const NodeData& data);
+
+  // Upserts a relationship analogously. Endpoints that are not yet present
+  // are created as empty nodes (they are expected to be merged later or by
+  // the same event). Fails with kInconsistent if an existing relationship
+  // with this id has different endpoints or type.
+  Status MergeRelationship(RelId id, const RelData& data);
+
+  // Replaces a node's payload entirely (labels and properties), creating
+  // the node if absent. Adjacency is untouched. Used by incremental
+  // snapshot maintenance when a contribution is evicted.
+  void SetNodeData(NodeId id, NodeData data);
+
+  // Replaces a relationship's payload entirely, creating it if absent
+  // (endpoints must exist). Fails with kInconsistent if an existing
+  // relationship has different endpoints or type.
+  Status SetRelationshipData(RelId id, RelData data);
+
+  // Removes a node and all incident relationships. No-op if absent.
+  void RemoveNode(NodeId id);
+
+  // Removes a relationship. No-op if absent.
+  void RemoveRelationship(RelId id);
+
+  void Clear();
+
+  // ---- Lookup ----
+
+  bool HasNode(NodeId id) const { return nodes_.contains(id); }
+  bool HasRelationship(RelId id) const { return rels_.contains(id); }
+
+  // Returns nullptr when absent.
+  const NodeData* node(NodeId id) const;
+  const RelData* relationship(RelId id) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_relationships() const { return rels_.size(); }
+
+  // All node / relationship ids in ascending id order (deterministic
+  // iteration for matching and printing).
+  std::vector<NodeId> NodeIds() const;
+  std::vector<RelId> RelationshipIds() const;
+
+  // ---- Indexes ----
+
+  // Relationships with src == id / trg == id, in insertion order.
+  const std::vector<RelId>& OutRelationships(NodeId id) const;
+  const std::vector<RelId>& InRelationships(NodeId id) const;
+
+  // Nodes carrying `label` (ascending id order).
+  std::vector<NodeId> NodesWithLabel(const std::string& label) const;
+
+  // Relationships of type `type` (ascending id order).
+  std::vector<RelId> RelationshipsWithType(const std::string& type) const;
+
+  // ---- Convenience ----
+
+  // Property lookup returning null when the key (or entity) is absent —
+  // matching Cypher's `x.key` semantics.
+  Value NodeProperty(NodeId id, const std::string& key) const;
+  Value RelationshipProperty(RelId id, const std::string& key) const;
+
+  // Structural equality: same nodes, relationships, and payloads.
+  friend bool operator==(const PropertyGraph& a, const PropertyGraph& b) {
+    return a.nodes_ == b.nodes_ && a.rels_ == b.rels_;
+  }
+
+  // Multi-line debug rendering (nodes then relationships, sorted by id).
+  std::string DebugString() const;
+
+ private:
+  struct NodeEntry {
+    NodeData data;
+    std::vector<RelId> out;
+    std::vector<RelId> in;
+
+    friend bool operator==(const NodeEntry& a, const NodeEntry& b) {
+      // Adjacency is derived state; payload equality suffices.
+      return a.data == b.data;
+    }
+  };
+
+  void IndexNodeLabels(NodeId id, const NodeData& data);
+  void UnindexNodeLabels(NodeId id, const NodeData& data);
+
+  std::unordered_map<NodeId, NodeEntry> nodes_;
+  std::unordered_map<RelId, RelData> rels_;
+  std::unordered_map<std::string, std::set<NodeId>> label_index_;
+  std::unordered_map<std::string, std::set<RelId>> type_index_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_GRAPH_PROPERTY_GRAPH_H_

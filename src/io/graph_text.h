@@ -1,0 +1,55 @@
+// A line-based text serialization for property graphs and graph-event
+// logs — the on-disk interchange format used by the seraph_run CLI and
+// usable for replaying captured streams.
+//
+// Graph lines (one entity per line, '|'-separated fields):
+//   node|<id>|<label,label,...>|<key>=<value>|...
+//   rel|<id>|<type>|<src>|<trg>|<key>=<value>|...
+//
+// Values are typed by prefix: i:42, f:1.5, s:text, b:true/false,
+// d:<ISO datetime>, p:<ISO duration>, null. Strings percent-escape
+// '%', '|', '=', ',' and newlines.
+//
+// Event logs are sequences of events:
+//   @ <ISO datetime>
+//   <graph lines...>
+// with '#' comment lines and blank lines ignored.
+#ifndef SERAPH_IO_GRAPH_TEXT_H_
+#define SERAPH_IO_GRAPH_TEXT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "stream/graph_stream.h"
+
+namespace seraph {
+namespace io {
+
+// ---- Values ----
+
+// "i:42", "s:hello", ... (see header comment).
+std::string EncodeValue(const Value& value);
+Result<Value> DecodeValue(const std::string& text);
+
+// ---- Graphs ----
+
+// Serializes nodes then relationships, sorted by id (deterministic).
+std::string EncodeGraph(const PropertyGraph& graph);
+Result<PropertyGraph> DecodeGraph(const std::string& text);
+
+// ---- Event logs ----
+
+// Serializes a stream of timestamped graphs.
+void WriteEventLog(const std::vector<StreamElement>& events,
+                   std::ostream* os);
+
+// Parses an event log; events must be timestamp-ordered.
+Result<std::vector<StreamElement>> ReadEventLog(std::istream* is);
+
+}  // namespace io
+}  // namespace seraph
+
+#endif  // SERAPH_IO_GRAPH_TEXT_H_

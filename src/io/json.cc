@@ -1,0 +1,173 @@
+#include "io/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace seraph {
+namespace io {
+
+namespace {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void AppendJsonValue(const Value& value, std::string* out) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      *out += "null";
+      return;
+    case ValueKind::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      return;
+    case ValueKind::kInt:
+      *out += std::to_string(value.AsInt());
+      return;
+    case ValueKind::kFloat: {
+      double d = value.AsFloat();
+      if (!std::isfinite(d)) {
+        *out += "null";
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+      return;
+    }
+    case ValueKind::kString:
+      AppendJsonString(value.AsString(), out);
+      return;
+    case ValueKind::kList: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : value.AsList()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonValue(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case ValueKind::kMap: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : value.AsMap()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(key, out);
+        out->push_back(':');
+        AppendJsonValue(item, out);
+      }
+      out->push_back('}');
+      return;
+    }
+    case ValueKind::kDateTime:
+      AppendJsonString(value.AsDateTime().ToString(), out);
+      return;
+    case ValueKind::kDuration:
+      AppendJsonString(value.AsDuration().ToString(), out);
+      return;
+    case ValueKind::kNode:
+      *out += "{\"$node\":" + std::to_string(value.AsNode().value) + "}";
+      return;
+    case ValueKind::kRelationship:
+      *out += "{\"$rel\":" + std::to_string(value.AsRelationship().value) +
+              "}";
+      return;
+    case ValueKind::kPath: {
+      const PathValue& path = value.AsPath();
+      *out += "{\"$path\":{\"nodes\":[";
+      for (size_t i = 0; i < path.nodes.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        *out += std::to_string(path.nodes[i].value);
+      }
+      *out += "],\"rels\":[";
+      for (size_t i = 0; i < path.rels.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        *out += std::to_string(path.rels[i].value);
+      }
+      *out += "]}}";
+      return;
+    }
+  }
+}
+
+std::string ToJson(const Value& value) {
+  std::string out;
+  AppendJsonValue(value, &out);
+  return out;
+}
+
+std::string ToJson(const Record& record) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : record) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendJsonValue(value, &out);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string ToJson(const Table& table) {
+  std::string out = "[";
+  bool first = true;
+  for (const Record& row : table.rows()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += ToJson(row);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string ToJson(const TimeAnnotatedTable& table) {
+  std::string out = "{\"win_start\":";
+  AppendJsonString(table.window.start.ToString(), &out);
+  out += ",\"win_end\":";
+  AppendJsonString(table.window.end.ToString(), &out);
+  out += ",\"rows\":" + ToJson(table.table) + "}";
+  return out;
+}
+
+}  // namespace io
+}  // namespace seraph

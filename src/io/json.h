@@ -1,0 +1,38 @@
+// JSON (RFC 8259) serialization for values, records, tables, and
+// evaluation results — the machine-readable counterpart of the CSV sink.
+//
+// Mapping: null/bool/int/float → native JSON; strings escaped; lists →
+// arrays; maps → objects; datetime → ISO-8601 string; duration →
+// ISO-8601 duration string; node/relationship references → {"$node": id}
+// / {"$rel": id}; paths → {"$path": {"nodes": [...], "rels": [...]}}.
+// Non-finite floats serialize as null (JSON has no NaN/Inf).
+#ifndef SERAPH_IO_JSON_H_
+#define SERAPH_IO_JSON_H_
+
+#include <string>
+
+#include "table/record.h"
+#include "table/table.h"
+#include "table/time_table.h"
+#include "value/value.h"
+
+namespace seraph {
+namespace io {
+
+// Appends the JSON encoding of `value` to `*out`.
+void AppendJsonValue(const Value& value, std::string* out);
+std::string ToJson(const Value& value);
+
+// {"a": 1, "b": "x"} — fields in name order.
+std::string ToJson(const Record& record);
+
+// Array of row objects, in row order.
+std::string ToJson(const Table& table);
+
+// {"win_start": "...", "win_end": "...", "rows": [...]}.
+std::string ToJson(const TimeAnnotatedTable& table);
+
+}  // namespace io
+}  // namespace seraph
+
+#endif  // SERAPH_IO_JSON_H_

@@ -1,0 +1,423 @@
+#include "seraph/continuous_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "cypher/executor.h"
+#include "graph/graph_union.h"
+#include "seraph/seraph_parser.h"
+
+namespace seraph {
+
+// ---------------------------------------------------------------------------
+// CollectingSink
+// ---------------------------------------------------------------------------
+
+void CollectingSink::OnResult(const std::string& query_name,
+                              Timestamp evaluation_time,
+                              const TimeAnnotatedTable& table) {
+  results_[query_name].Insert(table);
+  by_time_[query_name].emplace(evaluation_time, table);
+}
+
+const TimeVaryingTable& CollectingSink::ResultsFor(
+    const std::string& query_name) const {
+  static const TimeVaryingTable* kEmpty = new TimeVaryingTable();
+  auto it = results_.find(query_name);
+  return it == results_.end() ? *kEmpty : it->second;
+}
+
+std::optional<TimeAnnotatedTable> CollectingSink::ResultAt(
+    const std::string& query_name, Timestamp t) const {
+  auto qit = by_time_.find(query_name);
+  if (qit == by_time_.end()) return std::nullopt;
+  auto tit = qit->second.find(t);
+  if (tit == qit->second.end()) return std::nullopt;
+  return tit->second;
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+struct ContinuousEngine::QueryState {
+  RegisteredQuery query;
+  bool content_deterministic = false;
+
+  // One window per distinct (stream, WITHIN width) pair a MATCH uses.
+  struct WindowState {
+    std::string stream;
+    Duration width;
+    WindowConfig config;
+    std::unique_ptr<IncrementalSnapshotter> snapshotter;
+    PropertyGraph rebuilt;  // Used when incremental maintenance is off.
+    // Element index range covered at the previous evaluation (for the
+    // unchanged-window reuse check).
+    size_t last_lo = 0;
+    size_t last_hi = 0;
+    bool has_last_range = false;
+  };
+  // Keyed by "<stream>\n<width_ms>".
+  std::map<std::string, WindowState> windows;
+  std::string widest_key;  // Window whose bounds annotate emissions.
+
+  Timestamp next_eval;
+  // Previous evaluation's (un-annotated) result, for delta policies and
+  // for unchanged-window reuse.
+  Table previous_result;
+  bool has_previous = false;
+  bool done = false;  // RETURN-once queries stop after one evaluation.
+  QueryStats stats;
+  Histogram eval_latency_micros;
+};
+
+namespace {
+
+std::string WindowKey(const std::string& stream, Duration width) {
+  return stream + "\n" + std::to_string(width.millis());
+}
+
+// Resolves each MATCH clause to the snapshot of its (stream, WITHIN)
+// window.
+class WindowGraphResolver final : public GraphResolver {
+ public:
+  WindowGraphResolver(
+      const std::map<std::string, const PropertyGraph*>& by_key,
+      const PropertyGraph* base)
+      : by_key_(by_key), base_(base) {}
+
+  const PropertyGraph& GraphFor(const MatchClause& clause,
+                                size_t) const override {
+    SERAPH_CHECK(clause.within.has_value())
+        << "Seraph MATCH without WITHIN reached the resolver";
+    auto it = by_key_.find(WindowKey(clause.from_stream, *clause.within));
+    SERAPH_CHECK(it != by_key_.end()) << "no snapshot for WITHIN window";
+    return *it->second;
+  }
+
+  const PropertyGraph& BaseGraph() const override { return *base_; }
+
+ private:
+  const std::map<std::string, const PropertyGraph*>& by_key_;
+  const PropertyGraph* base_;
+};
+
+}  // namespace
+
+ContinuousEngine::ContinuousEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+ContinuousEngine::~ContinuousEngine() = default;
+
+PropertyGraphStream* ContinuousEngine::MutableStream(
+    const std::string& name) {
+  return &streams_[name];
+}
+
+Status ContinuousEngine::SetStaticGraph(PropertyGraph graph) {
+  if (!queries_.empty()) {
+    return Status::InvalidArgument(
+        "SetStaticGraph must be called before registering queries");
+  }
+  static_graph_ =
+      std::make_shared<const PropertyGraph>(std::move(graph));
+  return Status::OK();
+}
+
+Status ContinuousEngine::Register(RegisteredQuery query) {
+  SERAPH_RETURN_IF_ERROR(query.Validate());
+  if (queries_.contains(query.name)) {
+    return Status::AlreadyExists("query '" + query.name +
+                                 "' is already registered");
+  }
+  auto state = std::make_unique<QueryState>();
+  state->next_eval = query.starting_at;
+  state->content_deterministic = query.IsWindowContentDeterministic();
+  // One window state per distinct (stream, WITHIN width) pair.
+  Duration slide = query.mode == OutputMode::kEmitStream
+                       ? query.every
+                       : Duration::FromMillis(1);
+  Duration max_width = Duration::FromMillis(0);
+  for (const Clause& clause : query.clauses) {
+    const auto* match = std::get_if<MatchClause>(&clause);
+    if (match == nullptr) continue;
+    std::string key = WindowKey(match->from_stream, *match->within);
+    if (state->widest_key.empty() || *match->within > max_width) {
+      max_width = *match->within;
+      state->widest_key = key;
+    }
+    if (state->windows.contains(key)) continue;
+    QueryState::WindowState ws;
+    ws.stream = match->from_stream;
+    ws.width = *match->within;
+    ws.config = WindowConfig{query.starting_at, *match->within, slide,
+                             options_.semantics};
+    SERAPH_RETURN_IF_ERROR(ws.config.Validate());
+    if (options_.incremental_snapshots) {
+      ws.snapshotter = std::make_unique<IncrementalSnapshotter>(
+          MutableStream(match->from_stream), ws.config.bounds());
+      if (static_graph_ != nullptr) {
+        SERAPH_RETURN_IF_ERROR(ws.snapshotter->SetBase(static_graph_));
+      }
+    }
+    state->windows.emplace(std::move(key), std::move(ws));
+  }
+  state->query = std::move(query);
+  std::string name = state->query.name;
+  queries_.emplace(std::move(name), std::move(state));
+  return Status::OK();
+}
+
+Status ContinuousEngine::RegisterText(std::string_view seraph_text) {
+  SERAPH_ASSIGN_OR_RETURN(RegisteredQuery query,
+                          ParseSeraphQuery(seraph_text));
+  return Register(std::move(query));
+}
+
+Status ContinuousEngine::Unregister(const std::string& name) {
+  if (queries_.erase(name) == 0) {
+    return Status::NotFound("query '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ContinuousEngine::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, state] : queries_) names.push_back(name);
+  return names;
+}
+
+Result<QueryStats> ContinuousEngine::StatsFor(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + name + "' is not registered");
+  }
+  return it->second->stats;
+}
+
+Result<HistogramSnapshot> ContinuousEngine::LatencyFor(
+    const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + name + "' is not registered");
+  }
+  return it->second->eval_latency_micros.Snapshot();
+}
+
+Status ContinuousEngine::Ingest(PropertyGraph graph, Timestamp timestamp) {
+  return IngestTo("", std::make_shared<const PropertyGraph>(std::move(graph)),
+                  timestamp);
+}
+
+Status ContinuousEngine::Ingest(std::shared_ptr<const PropertyGraph> graph,
+                                Timestamp timestamp) {
+  return IngestTo("", std::move(graph), timestamp);
+}
+
+Status ContinuousEngine::IngestTo(const std::string& stream,
+                                  PropertyGraph graph, Timestamp timestamp) {
+  return IngestTo(stream,
+                  std::make_shared<const PropertyGraph>(std::move(graph)),
+                  timestamp);
+}
+
+Status ContinuousEngine::IngestTo(
+    const std::string& stream, std::shared_ptr<const PropertyGraph> graph,
+    Timestamp timestamp) {
+  if (clock_started_ && timestamp < clock_) {
+    return Status::OutOfRange(
+        "cannot ingest an element older than the engine clock (" +
+        timestamp.ToString() + " < " + clock_.ToString() + ")");
+  }
+  return MutableStream(stream)->Append(std::move(graph), timestamp);
+}
+
+const PropertyGraphStream& ContinuousEngine::stream() const {
+  static const PropertyGraphStream* kEmpty = new PropertyGraphStream();
+  auto it = streams_.find("");
+  return it == streams_.end() ? *kEmpty : it->second;
+}
+
+const PropertyGraphStream& ContinuousEngine::stream(const std::string& name) {
+  return *MutableStream(name);
+}
+
+Status ContinuousEngine::AdvanceTo(Timestamp now) {
+  if (clock_started_ && now < clock_) {
+    return Status::OutOfRange("engine clock cannot move backwards");
+  }
+  // Run all due evaluations across queries in global chronological order
+  // so multi-query sinks observe a single timeline.
+  while (true) {
+    QueryState* next = nullptr;
+    for (auto& [name, state] : queries_) {
+      if (state->done) continue;
+      if (state->next_eval > now) continue;
+      if (next == nullptr || state->next_eval < next->next_eval) {
+        next = state.get();
+      }
+    }
+    if (next == nullptr) break;
+    Timestamp t = next->next_eval;
+    SERAPH_RETURN_IF_ERROR(EvaluateAt(next, t));
+    if (next->query.mode == OutputMode::kReturnOnce) {
+      next->done = true;
+    } else {
+      next->next_eval = t + next->query.every;
+    }
+  }
+  clock_ = now;
+  clock_started_ = true;
+  return Status::OK();
+}
+
+Status ContinuousEngine::Drain() {
+  Timestamp horizon;
+  bool any = false;
+  for (const auto& [name, stream] : streams_) {
+    if (stream.empty()) continue;
+    if (!any || stream.MaxTimestamp() > horizon) {
+      horizon = stream.MaxTimestamp();
+    }
+    any = true;
+  }
+  if (!any) return Status::OK();
+  return AdvanceTo(horizon);
+}
+
+Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
+  auto started = std::chrono::steady_clock::now();
+  ++evaluations_run_;
+  ++state->stats.evaluations;
+
+  // 1. Identify each window's active interval and element range; advance /
+  //    rebuild its snapshot.
+  std::map<std::string, const PropertyGraph*> snapshots;
+  std::optional<TimeInterval> widest_window;
+  bool all_ranges_unchanged = true;
+  for (auto& [key, ws] : state->windows) {
+    std::optional<TimeInterval> window = ws.config.ActiveWindow(t);
+    if (!window.has_value()) {
+      // Before the first window of this width: match against the empty
+      // window ending at t.
+      window = TimeInterval{t, t};
+    }
+    if (key == state->widest_key) widest_window = window;
+    // Under kPaperFormal the active window may extend past the evaluation
+    // instant; elements there have not causally arrived yet, so the
+    // *effective* selection interval is clamped at t (the annotation
+    // keeps the full window).
+    TimeInterval effective = *window;
+    if (t < effective.end) {
+      // Clamp to "arrived by t", inclusive of t itself (the +1ms keeps an
+      // element arriving exactly at the instant inside the left-closed
+      // right-open selection).
+      effective.end = Timestamp::FromMillis(t.millis() + 1);
+    }
+    const PropertyGraphStream* stream = MutableStream(ws.stream);
+    // Covered element range, for the reuse check.
+    size_t lo, hi;
+    {
+      Timestamp start = effective.start;
+      Timestamp end = effective.end;
+      if (ws.config.bounds() == IntervalBounds::kLeftOpenRightClosed) {
+        lo = stream->LowerBound(Timestamp::FromMillis(start.millis() + 1));
+        hi = stream->LowerBound(Timestamp::FromMillis(end.millis() + 1));
+      } else {
+        lo = stream->LowerBound(start);
+        hi = stream->LowerBound(end);
+      }
+      hi = std::min(hi, stream->size());
+      lo = std::min(lo, hi);
+    }
+    if (!ws.has_last_range || ws.last_lo != lo || ws.last_hi != hi) {
+      all_ranges_unchanged = false;
+    }
+    ws.last_lo = lo;
+    ws.last_hi = hi;
+    ws.has_last_range = true;
+
+    if (ws.snapshotter != nullptr) {
+      SERAPH_RETURN_IF_ERROR(ws.snapshotter->Advance(effective));
+      snapshots[key] = &ws.snapshotter->graph();
+    } else {
+      SERAPH_ASSIGN_OR_RETURN(
+          PropertyGraph snapshot,
+          BuildSnapshot(*stream, effective, ws.config.bounds()));
+      if (static_graph_ != nullptr) {
+        PropertyGraph with_base = *static_graph_;
+        SERAPH_RETURN_IF_ERROR(MergeInto(&with_base, snapshot));
+        snapshot = std::move(with_base);
+      }
+      ws.rebuilt = std::move(snapshot);
+      snapshots[key] = &ws.rebuilt;
+    }
+  }
+  SERAPH_CHECK(widest_window.has_value());
+  const PropertyGraph* base = snapshots.at(state->widest_key);
+
+  // 2. Evaluate the body at instant t (snapshot reducibility) — or reuse
+  //    the previous result when nothing in any window changed and the
+  //    query cannot observe the evaluation instant.
+  Table current;
+  if (options_.reuse_unchanged_windows && state->content_deterministic &&
+      state->has_previous && all_ranges_unchanged) {
+    current = state->previous_result;
+    ++state->stats.reused_results;
+  } else {
+    WindowGraphResolver resolver(snapshots, base);
+    ExecutionOptions exec;
+    exec.parameters = options_.parameters;
+    exec.now = t;
+    exec.window = widest_window;
+    exec.optimize_match_order = options_.optimize_match_order;
+    // Share the clause/projection structures without copying expression
+    // trees: move them into a temporary SingleQuery and back (the
+    // executor only reads).
+    SingleQuery single;
+    single.clauses = std::move(state->query.clauses);
+    single.ret.body = std::move(state->query.projection);
+    auto result = ExecuteSingleQuery(single, resolver, Table::Unit(), exec);
+    state->query.clauses = std::move(single.clauses);
+    state->query.projection = std::move(single.ret.body);
+    if (!result.ok()) return result.status();
+    current = std::move(result).value();
+  }
+  state->stats.result_rows += static_cast<int64_t>(current.size());
+
+  // 3. Apply the report policy.
+  Table reported;
+  switch (state->query.policy) {
+    case ReportPolicy::kSnapshot:
+      reported = current;
+      break;
+    case ReportPolicy::kOnEntering:
+      reported = state->has_previous
+                     ? Table::BagDifference(current, state->previous_result)
+                     : current;
+      break;
+    case ReportPolicy::kOnExiting:
+      reported = state->has_previous
+                     ? Table::BagDifference(state->previous_result, current)
+                     : Table(current.fields());
+      break;
+  }
+  state->previous_result = std::move(current);
+  state->has_previous = true;
+  state->stats.rows_emitted += static_cast<int64_t>(reported.size());
+
+  // 4. Emit the time-annotated table.
+  TimeAnnotatedTable annotated{std::move(reported), *widest_window};
+  for (EmitSink* sink : sinks_) {
+    sink->OnResult(state->query.name, t, annotated);
+  }
+  state->eval_latency_micros.Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  return Status::OK();
+}
+
+}  // namespace seraph

@@ -1,0 +1,28 @@
+#include "seraph/polling_baseline.h"
+
+#include "cypher/executor.h"
+#include "graph/graph_union.h"
+
+namespace seraph {
+
+Status PollingBaseline::Ingest(const PropertyGraph& graph) {
+  return MergeInto(&store_, graph);
+}
+
+Result<std::vector<std::pair<Timestamp, Table>>> PollingBaseline::AdvanceTo(
+    Timestamp now) {
+  std::vector<std::pair<Timestamp, Table>> out;
+  while (next_run_ <= now) {
+    ExecutionOptions options;
+    options.parameters = parameters_;
+    options.now = next_run_;
+    SERAPH_ASSIGN_OR_RETURN(Table result,
+                            ExecuteQueryOnGraph(query_, store_, options));
+    out.emplace_back(next_run_, std::move(result));
+    ++polls_run_;
+    next_run_ = next_run_ + period_;
+  }
+  return out;
+}
+
+}  // namespace seraph

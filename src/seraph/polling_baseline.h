@@ -1,0 +1,59 @@
+// The Section-3.3 workaround, implemented as a comparison baseline: all
+// events are merged into one ever-growing store (as the Neo4j Kafka
+// connector would), and external driver code re-executes a *plain Cypher*
+// query every period. The query itself must window by property predicates
+// (as Listing 1 does with val_time bounds) — the system has no notion of
+// windows, re-matches the full store each round, and cannot deduplicate
+// previously-reported results (no ON ENTERING).
+#ifndef SERAPH_SERAPH_POLLING_BASELINE_H_
+#define SERAPH_SERAPH_POLLING_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/ast.h"
+#include "graph/property_graph.h"
+#include "table/table.h"
+#include "temporal/duration.h"
+#include "temporal/timestamp.h"
+#include "value/value.h"
+
+namespace seraph {
+
+class PollingBaseline {
+ public:
+  // `query` is a one-time Cypher query (its datetime() calls see the
+  // polling instant). `first_run` and `period` fix the polling grid.
+  PollingBaseline(Query query, Timestamp first_run, Duration period)
+      : query_(std::move(query)), next_run_(first_run), period_(period) {}
+
+  PollingBaseline(const PollingBaseline&) = delete;
+  PollingBaseline& operator=(const PollingBaseline&) = delete;
+
+  // Merges an event into the accumulating store.
+  Status Ingest(const PropertyGraph& graph);
+
+  void set_parameters(std::map<std::string, Value> params) {
+    parameters_ = std::move(params);
+  }
+
+  // Runs every poll due up to `now`; returns (instant, result) pairs.
+  Result<std::vector<std::pair<Timestamp, Table>>> AdvanceTo(Timestamp now);
+
+  const PropertyGraph& store() const { return store_; }
+  int64_t polls_run() const { return polls_run_; }
+
+ private:
+  Query query_;
+  PropertyGraph store_;
+  std::map<std::string, Value> parameters_;
+  Timestamp next_run_;
+  Duration period_;
+  int64_t polls_run_ = 0;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_POLLING_BASELINE_H_

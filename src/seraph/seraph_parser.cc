@@ -1,0 +1,79 @@
+#include "seraph/seraph_parser.h"
+
+#include "cypher/lexer.h"
+#include "cypher/parser.h"
+#include "cypher/token.h"
+
+namespace seraph {
+
+Result<RegisteredQuery> ParseSeraphQuery(std::string_view text) {
+  SERAPH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  RegisteredQuery query;
+
+  SERAPH_RETURN_IF_ERROR(parser.ExpectKeyword("REGISTER"));
+  SERAPH_RETURN_IF_ERROR(parser.ExpectKeyword("QUERY"));
+  if (parser.Peek().kind != TokenKind::kIdentifier) {
+    return parser.ErrorHere("expected query name");
+  }
+  query.name = parser.Peek().text;
+  parser.Consume(TokenKind::kIdentifier);
+
+  SERAPH_RETURN_IF_ERROR(parser.ExpectKeyword("STARTING"));
+  SERAPH_RETURN_IF_ERROR(parser.ExpectKeyword("AT"));
+  SERAPH_ASSIGN_OR_RETURN(query.starting_at, parser.ParseDateTimeLiteral());
+
+  SERAPH_RETURN_IF_ERROR(parser.Expect(TokenKind::kLBrace));
+  SERAPH_ASSIGN_OR_RETURN(query.clauses, parser.ParseClauseChain());
+
+  if (parser.ConsumeKeyword("EMIT")) {
+    query.mode = OutputMode::kEmitStream;
+    // Policy may be written prefix (EMIT SNAPSHOT items ...) or postfix
+    // (EMIT items ON ENTERING ...). Default: SNAPSHOT.
+    bool policy_set = false;
+    if (parser.ConsumeKeyword("SNAPSHOT")) {
+      query.policy = ReportPolicy::kSnapshot;
+      policy_set = true;
+    }
+    SERAPH_ASSIGN_OR_RETURN(query.projection,
+                            parser.ParseProjectionBody({"ON", "EVERY",
+                                                        "SNAPSHOT"}));
+    if (parser.ConsumeKeyword("ON")) {
+      if (policy_set) {
+        return parser.ErrorHere("conflicting report policies");
+      }
+      if (parser.ConsumeKeyword("ENTERING")) {
+        query.policy = ReportPolicy::kOnEntering;
+      } else if (parser.ConsumeKeyword("EXITING")) {
+        query.policy = ReportPolicy::kOnExiting;
+      } else {
+        return parser.ErrorHere("expected ENTERING or EXITING after ON");
+      }
+    } else if (parser.ConsumeKeyword("SNAPSHOT")) {
+      if (policy_set) {
+        return parser.ErrorHere("conflicting report policies");
+      }
+      query.policy = ReportPolicy::kSnapshot;
+    }
+    SERAPH_RETURN_IF_ERROR(parser.ExpectKeyword("EVERY"));
+    SERAPH_ASSIGN_OR_RETURN(query.every, parser.ParseDurationLiteral());
+  } else if (parser.ConsumeKeyword("RETURN")) {
+    query.mode = OutputMode::kReturnOnce;
+    SERAPH_ASSIGN_OR_RETURN(query.projection,
+                            parser.ParseProjectionBody({"EVERY"}));
+    // An explicit EVERY is tolerated (it fixes the ET grid) but not
+    // required for one-shot queries.
+    if (parser.ConsumeKeyword("EVERY")) {
+      SERAPH_ASSIGN_OR_RETURN(query.every, parser.ParseDurationLiteral());
+    }
+  } else {
+    return parser.ErrorHere("expected EMIT or RETURN in query body");
+  }
+
+  SERAPH_RETURN_IF_ERROR(parser.Expect(TokenKind::kRBrace));
+  SERAPH_RETURN_IF_ERROR(parser.ExpectEnd());
+  SERAPH_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+}  // namespace seraph

@@ -1,0 +1,19 @@
+// Front-end for the Seraph grammar (Fig. 6), composed from the Cypher
+// parser's building blocks.
+#ifndef SERAPH_SERAPH_SERAPH_PARSER_H_
+#define SERAPH_SERAPH_SERAPH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "seraph/seraph_query.h"
+
+namespace seraph {
+
+// Parses a full `REGISTER QUERY name STARTING AT <datetime> { ... }`
+// statement and validates it (every MATCH has WITHIN, EMIT has EVERY).
+Result<RegisteredQuery> ParseSeraphQuery(std::string_view text);
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_SERAPH_PARSER_H_

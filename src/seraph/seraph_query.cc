@@ -1,0 +1,146 @@
+#include "seraph/seraph_query.h"
+
+namespace seraph {
+
+const char* ReportPolicyToString(ReportPolicy policy) {
+  switch (policy) {
+    case ReportPolicy::kSnapshot:
+      return "SNAPSHOT";
+    case ReportPolicy::kOnEntering:
+      return "ON ENTERING";
+    case ReportPolicy::kOnExiting:
+      return "ON EXITING";
+  }
+  return "?";
+}
+
+Duration RegisteredQuery::MaxWidth() const {
+  Duration max = Duration::FromMillis(0);
+  for (const Clause& clause : clauses) {
+    if (const auto* match = std::get_if<MatchClause>(&clause)) {
+      if (match->within.has_value() && *match->within > max) {
+        max = *match->within;
+      }
+    }
+  }
+  return max;
+}
+
+namespace {
+
+// Applies `volatile_found` to every top-level expression of a projection.
+bool ProjectionHasVolatile(const ProjectionBody& body) {
+  for (const ProjectionItem& item : body.items) {
+    if (item.expr->ContainsVolatile()) return true;
+  }
+  for (const OrderByItem& item : body.order_by) {
+    if (item.expr->ContainsVolatile()) return true;
+  }
+  if (body.skip != nullptr && body.skip->ContainsVolatile()) return true;
+  if (body.limit != nullptr && body.limit->ContainsVolatile()) return true;
+  return false;
+}
+
+bool PatternHasVolatile(const std::vector<PathPattern>& patterns) {
+  for (const PathPattern& path : patterns) {
+    for (const NodePattern& np : path.nodes) {
+      for (const auto& [key, expr] : np.properties) {
+        if (expr->ContainsVolatile()) return true;
+      }
+    }
+    for (const RelPattern& rp : path.rels) {
+      for (const auto& [key, expr] : rp.properties) {
+        if (expr->ContainsVolatile()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RegisteredQuery::IsWindowContentDeterministic() const {
+  for (const Clause& clause : clauses) {
+    if (const auto* match = std::get_if<MatchClause>(&clause)) {
+      if (match->where != nullptr && match->where->ContainsVolatile()) {
+        return false;
+      }
+      if (PatternHasVolatile(match->patterns)) return false;
+    } else if (const auto* unwind = std::get_if<UnwindClause>(&clause)) {
+      if (unwind->list->ContainsVolatile()) return false;
+    } else if (const auto* with = std::get_if<WithClause>(&clause)) {
+      if (ProjectionHasVolatile(with->body)) return false;
+      if (with->where != nullptr && with->where->ContainsVolatile()) {
+        return false;
+      }
+    }
+  }
+  return !ProjectionHasVolatile(projection);
+}
+
+std::string RegisteredQuery::Describe() const {
+  std::string out = "query " + name + "\n";
+  out += "  starting at: " + starting_at.ToString() + "\n";
+  if (mode == OutputMode::kEmitStream) {
+    out += "  mode: EMIT every " + every.ToString() + " (" +
+           ReportPolicyToString(policy) + ")\n";
+  } else {
+    out += "  mode: RETURN once\n";
+  }
+  int match_index = 0;
+  for (const Clause& clause : clauses) {
+    const auto* match = std::get_if<MatchClause>(&clause);
+    if (match == nullptr) continue;
+    ++match_index;
+    out += "  match #" + std::to_string(match_index) + ": " +
+           std::to_string(match->patterns.size()) + " pattern(s), window " +
+           (match->within.has_value() ? match->within->ToString()
+                                      : std::string("<none>"));
+    out += ", stream '" +
+           (match->from_stream.empty() ? std::string("<default>")
+                                       : match->from_stream) +
+           "'\n";
+  }
+  out += "  projection: " + std::to_string(projection.items.size()) +
+         " item(s)";
+  if (projection.distinct) out += ", DISTINCT";
+  out += "\n";
+  out += std::string("  window-content deterministic: ") +
+         (IsWindowContentDeterministic() ? "yes (result reuse eligible)"
+                                         : "no (evaluation-time dependent)") +
+         "\n";
+  return out;
+}
+
+Status RegisteredQuery::Validate() const {
+  if (name.empty()) {
+    return Status::SemanticError("registered query must have a name");
+  }
+  bool any_match = false;
+  for (const Clause& clause : clauses) {
+    if (const auto* match = std::get_if<MatchClause>(&clause)) {
+      any_match = true;
+      if (!match->within.has_value()) {
+        return Status::SemanticError(
+            "every MATCH in a Seraph query must declare a WITHIN window "
+            "width (query '" + name + "')");
+      }
+    }
+  }
+  if (!any_match) {
+    return Status::SemanticError("Seraph query '" + name +
+                                 "' has no MATCH clause");
+  }
+  if (mode == OutputMode::kEmitStream && every.millis() <= 0) {
+    return Status::SemanticError(
+        "EMIT queries require a positive EVERY period (query '" + name +
+        "')");
+  }
+  if (projection.items.empty() && !projection.include_all) {
+    return Status::SemanticError("query '" + name +
+                                 "' projects no items");
+  }
+  return Status::OK();
+}
+
+}  // namespace seraph

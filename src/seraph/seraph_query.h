@@ -1,0 +1,80 @@
+// The registered continuous query (Fig. 6):
+//
+//   REGISTER QUERY <name> STARTING AT <datetime>
+//   {
+//     MATCH <pattern> WITHIN <duration> [WHERE ...]
+//     [WITH ... / UNWIND ... / MATCH ... WITHIN ...]*
+//     EMIT <items> (SNAPSHOT | ON ENTERING | ON EXITING) EVERY <duration>
+//       — or —
+//     RETURN <items>
+//   }
+//
+// The EMIT form produces a stream of time-annotated tables, one per
+// evaluation time instant; the RETURN form evaluates once at the first
+// evaluation instant (Section 5.3 b).
+#ifndef SERAPH_SERAPH_SERAPH_QUERY_H_
+#define SERAPH_SERAPH_SERAPH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cypher/ast.h"
+#include "temporal/duration.h"
+#include "temporal/timestamp.h"
+
+namespace seraph {
+
+// Result-reporting policies (R3). SNAPSHOT re-emits every current result
+// tuple at each evaluation; ON ENTERING emits only tuples that are new
+// with respect to the previous evaluation (bag difference current ∖
+// previous); ON EXITING emits tuples that left (previous ∖ current).
+enum class ReportPolicy {
+  kSnapshot,
+  kOnEntering,
+  kOnExiting,
+};
+
+const char* ReportPolicyToString(ReportPolicy policy);
+
+enum class OutputMode {
+  kEmitStream,  // EMIT ... EVERY ...
+  kReturnOnce,  // RETURN ...
+};
+
+struct RegisteredQuery {
+  std::string name;
+  Timestamp starting_at;  // ω0.
+  // The clause chain of the body (every MATCH carries its WITHIN width).
+  std::vector<Clause> clauses;
+  // The EMIT / RETURN projection.
+  ProjectionBody projection;
+  OutputMode mode = OutputMode::kEmitStream;
+  ReportPolicy policy = ReportPolicy::kSnapshot;
+  Duration every;  // β; ignored in kReturnOnce mode.
+
+  // Widest WITHIN width across MATCH clauses (defines the window whose
+  // bounds annotate emitted tables).
+  Duration MaxWidth() const;
+
+  // Structural validation: every MATCH has WITHIN, EMIT mode has a
+  // positive EVERY, and the query has at least one clause.
+  Status Validate() const;
+
+  // Human-readable execution description: evaluation grid, window
+  // configuration per MATCH (width / stream), report policy, output mode,
+  // and whether unchanged-window result reuse applies. The seraph_run
+  // CLI prints this under --explain.
+  std::string Describe() const;
+
+  // True when the query's results depend only on the window *contents*:
+  // no zero-argument datetime() / timestamp() calls and no references to
+  // the reserved win_start / win_end names anywhere in the body or
+  // projection. Such queries may safely reuse the previous result when
+  // the active substreams are unchanged (§6 "avoidable re-executions").
+  bool IsWindowContentDeterministic() const;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_SERAPH_QUERY_H_

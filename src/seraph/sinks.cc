@@ -1,0 +1,84 @@
+#include "seraph/sinks.h"
+
+#include "io/json.h"
+
+namespace seraph {
+
+void PrintingSink::OnResult(const std::string& query_name,
+                            Timestamp evaluation_time,
+                            const TimeAnnotatedTable& table) {
+  if (table.table.empty() && !include_empty_) return;
+  *os_ << "[" << query_name << "] evaluation at "
+       << evaluation_time.ToString() << " (window " << table.window.ToString()
+       << "): " << table.table.size() << " row(s)\n";
+  if (!table.table.empty()) {
+    std::vector<std::string> columns = columns_;
+    columns.push_back(kWinStartField);
+    columns.push_back(kWinEndField);
+    *os_ << table.WithAnnotations().Canonicalized().ToAsciiTable(columns);
+  }
+}
+
+void JsonLinesSink::OnResult(const std::string& query_name,
+                             Timestamp evaluation_time,
+                             const TimeAnnotatedTable& table) {
+  if (table.table.empty() && !include_empty_) return;
+  std::string line = "{\"query\":";
+  io::AppendJsonValue(Value::String(query_name), &line);
+  line += ",\"at\":";
+  io::AppendJsonValue(Value::String(evaluation_time.ToString()), &line);
+  line += ",\"win_start\":";
+  io::AppendJsonValue(Value::String(table.window.start.ToString()), &line);
+  line += ",\"win_end\":";
+  io::AppendJsonValue(Value::String(table.window.end.ToString()), &line);
+  Table canonical = table.table.Canonicalized();
+  line += ",\"rows\":" + io::ToJson(canonical) + "}";
+  *os_ << line << "\n";
+}
+
+namespace {
+
+// RFC 4180 field escaping.
+void AppendCsvField(const std::string& field, std::string* out) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+void CsvSink::OnResult(const std::string& query_name,
+                       Timestamp evaluation_time,
+                       const TimeAnnotatedTable& table) {
+  if (!header_written_) {
+    std::string header = "query,evaluation_time,win_start,win_end";
+    for (const std::string& column : columns_) {
+      header += ',';
+      AppendCsvField(column, &header);
+    }
+    *os_ << header << "\n";
+    header_written_ = true;
+  }
+  Table canonical = table.table.Canonicalized();
+  for (const Record& row : canonical.rows()) {
+    std::string line;
+    AppendCsvField(query_name, &line);
+    line += ',' + evaluation_time.ToString();
+    line += ',' + table.window.start.ToString();
+    line += ',' + table.window.end.ToString();
+    for (const std::string& column : columns_) {
+      line += ',';
+      AppendCsvField(row.GetOrNull(column).ToString(), &line);
+    }
+    *os_ << line << "\n";
+  }
+}
+
+}  // namespace seraph

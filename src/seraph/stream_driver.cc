@@ -1,0 +1,51 @@
+#include "seraph/stream_driver.h"
+
+namespace seraph {
+
+Status StreamDriver::Deliver(const StreamElement& element) {
+  SERAPH_RETURN_IF_ERROR(engine_->IngestTo(options_.target_stream,
+                                           element.graph, element.timestamp));
+  if (!delivered_any_ || element.timestamp > delivered_horizon_) {
+    delivered_horizon_ = element.timestamp;
+    delivered_any_ = true;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> StreamDriver::PumpAll() {
+  int64_t delivered = 0;
+  while (true) {
+    auto batch = queue_->Poll(options_.consumer, options_.poll_batch);
+    if (batch.empty()) break;
+    for (const StreamElement& element : batch) {
+      if (reorder_.has_value()) {
+        reorder_->Offer(element.graph, element.timestamp);
+        for (const StreamElement& released : reorder_->Release()) {
+          SERAPH_RETURN_IF_ERROR(Deliver(released));
+          ++delivered;
+        }
+      } else {
+        SERAPH_RETURN_IF_ERROR(Deliver(element));
+        ++delivered;
+      }
+    }
+  }
+  if (delivered_any_) {
+    SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
+  }
+  return delivered;
+}
+
+Status StreamDriver::Finish() {
+  if (reorder_.has_value()) {
+    for (const StreamElement& released : reorder_->Flush()) {
+      SERAPH_RETURN_IF_ERROR(Deliver(released));
+    }
+  }
+  if (delivered_any_) {
+    SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
+  }
+  return Status::OK();
+}
+
+}  // namespace seraph

@@ -1,0 +1,75 @@
+// Transport glue: pumps a (Kafka-like) EventQueue into a ContinuousEngine,
+// optionally tolerating bounded out-of-order arrival via a ReorderBuffer.
+// This closes the paper's Fig. 1 loop end to end: event queue → property
+// graph stream → windows → continuous evaluation.
+//
+//   EventQueue queue;            // producers append events
+//   ContinuousEngine engine;     // queries registered, sinks attached
+//   StreamDriver driver(&queue, &engine,
+//                       {.allowed_lateness = Duration::FromMinutes(1)});
+//   ... while producing: driver.PumpAll();   // deliver + evaluate
+//   driver.Finish();                         // flush + final evaluations
+#ifndef SERAPH_SERAPH_STREAM_DRIVER_H_
+#define SERAPH_SERAPH_STREAM_DRIVER_H_
+
+#include <optional>
+#include <string>
+
+#include "seraph/continuous_engine.h"
+#include "stream/event_queue.h"
+#include "stream/reorder_buffer.h"
+
+namespace seraph {
+
+class StreamDriver {
+ public:
+  struct Options {
+    // Queue consumer-group name (offset key).
+    std::string consumer = "seraph-engine";
+    // Engine stream to deliver into ("" = default stream).
+    std::string target_stream;
+    // When set, arrivals may be out of order by up to this much; elements
+    // later than the watermark are dropped (counted). When unset, the
+    // queue is trusted to be ordered and elements are delivered directly.
+    std::optional<Duration> allowed_lateness;
+    // Max elements fetched per queue poll.
+    size_t poll_batch = 64;
+  };
+
+  StreamDriver(EventQueue* queue, ContinuousEngine* engine, Options options)
+      : queue_(queue),
+        engine_(engine),
+        options_(std::move(options)),
+        reorder_(options_.allowed_lateness.has_value()
+                     ? std::make_optional<ReorderBuffer>(
+                           *options_.allowed_lateness)
+                     : std::nullopt) {}
+
+  // Polls the queue until empty, delivering releasable elements to the
+  // engine and advancing its clock to the delivered horizon (which
+  // triggers due evaluations). Returns the number of elements delivered.
+  Result<int64_t> PumpAll();
+
+  // Flushes any held out-of-order elements and runs the engine's final
+  // due evaluations.
+  Status Finish();
+
+  // Elements rejected as too late (only with allowed_lateness).
+  int64_t dropped() const {
+    return reorder_.has_value() ? reorder_->dropped() : 0;
+  }
+
+ private:
+  Status Deliver(const StreamElement& element);
+
+  EventQueue* queue_;
+  ContinuousEngine* engine_;
+  Options options_;
+  std::optional<ReorderBuffer> reorder_;
+  Timestamp delivered_horizon_;
+  bool delivered_any_ = false;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_STREAM_DRIVER_H_

@@ -1,0 +1,43 @@
+#include "seraph/stream_router.h"
+
+namespace seraph {
+
+Result<int> StreamRouter::Route(ContinuousEngine* engine,
+                                std::shared_ptr<const PropertyGraph> graph,
+                                Timestamp timestamp) const {
+  int delivered = 0;
+  for (const RouteEntry& route : routes_) {
+    if (!route.predicate(*graph, timestamp)) continue;
+    SERAPH_RETURN_IF_ERROR(engine->IngestTo(route.stream, graph, timestamp));
+    ++delivered;
+  }
+  return delivered;
+}
+
+StreamRouter::Predicate AcceptAll() {
+  return [](const PropertyGraph&, Timestamp) { return true; };
+}
+
+StreamRouter::Predicate HasLabel(std::string label) {
+  return [label = std::move(label)](const PropertyGraph& graph, Timestamp) {
+    return !graph.NodesWithLabel(label).empty();
+  };
+}
+
+StreamRouter::Predicate HasRelationshipType(std::string type) {
+  return [type = std::move(type)](const PropertyGraph& graph, Timestamp) {
+    return !graph.RelationshipsWithType(type).empty();
+  };
+}
+
+StreamRouter::Predicate NodePropertyEquals(std::string key, Value value) {
+  return [key = std::move(key), value = std::move(value)](
+             const PropertyGraph& graph, Timestamp) {
+    for (NodeId id : graph.NodeIds()) {
+      if (graph.NodeProperty(id, key) == value) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace seraph

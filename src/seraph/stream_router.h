@@ -1,0 +1,68 @@
+// Logical sub-stream partitioning (§8 future work (ii)): a router splits
+// one physical event feed into named logical streams by predicate; each
+// event is delivered to every matching stream of a ContinuousEngine, so
+// queries can window over partitions with `WITHIN ... FROM <name>`.
+//
+//   StreamRouter router;
+//   router.AddRoute("rentals", HasRelationshipType("rentedAt"));
+//   router.AddRoute("returns", HasRelationshipType("returnedAt"));
+//   router.AddRoute("all", AcceptAll());
+//   router.Route(&engine, event_graph, t);
+#ifndef SERAPH_SERAPH_STREAM_ROUTER_H_
+#define SERAPH_SERAPH_STREAM_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "seraph/continuous_engine.h"
+
+namespace seraph {
+
+class StreamRouter {
+ public:
+  // Decides whether an event belongs to a logical stream.
+  using Predicate =
+      std::function<bool(const PropertyGraph& graph, Timestamp timestamp)>;
+
+  // Adds a route; one event may match any number of routes.
+  void AddRoute(std::string stream, Predicate predicate) {
+    routes_.push_back(
+        RouteEntry{std::move(stream), std::move(predicate)});
+  }
+
+  // Delivers the event to every matching logical stream of `engine`.
+  // Returns the number of streams it was delivered to.
+  Result<int> Route(ContinuousEngine* engine,
+                    std::shared_ptr<const PropertyGraph> graph,
+                    Timestamp timestamp) const;
+
+  size_t num_routes() const { return routes_.size(); }
+
+ private:
+  struct RouteEntry {
+    std::string stream;
+    Predicate predicate;
+  };
+  std::vector<RouteEntry> routes_;
+};
+
+// ---- Common predicates ----
+
+// Every event.
+StreamRouter::Predicate AcceptAll();
+
+// Events containing at least one node with `label`.
+StreamRouter::Predicate HasLabel(std::string label);
+
+// Events containing at least one relationship of `type`.
+StreamRouter::Predicate HasRelationshipType(std::string type);
+
+// Events where some node's `key` property equals `value` (partitioning by
+// key, e.g. region or tenant).
+StreamRouter::Predicate NodePropertyEquals(std::string key, Value value);
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_STREAM_ROUTER_H_

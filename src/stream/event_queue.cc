@@ -1,0 +1,24 @@
+#include "stream/event_queue.h"
+
+namespace seraph {
+
+std::vector<StreamElement> EventQueue::Poll(const std::string& consumer,
+                                            size_t max_events) {
+  size_t& offset = offsets_[consumer];
+  std::vector<StreamElement> out;
+  while (offset < log_.size() && out.size() < max_events) {
+    out.push_back(log_.at(offset));
+    ++offset;
+  }
+  return out;
+}
+
+Status EventQueue::Seek(const std::string& consumer, size_t offset) {
+  if (offset > log_.size()) {
+    return Status::OutOfRange("seek offset past end of queue");
+  }
+  offsets_[consumer] = offset;
+  return Status::OK();
+}
+
+}  // namespace seraph

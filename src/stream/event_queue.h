@@ -1,0 +1,55 @@
+// A simulated event queue in the role of the paper's central Kafka topic
+// (Section 2 / Listing 4): producers append timestamped property-graph
+// events; consumers poll them in order, each with its own offset, and can
+// seek for replay. This is the transport substitution documented in
+// DESIGN.md §5 — delivery order and timestamps are what the Seraph
+// semantics depend on, not the wire protocol.
+#ifndef SERAPH_STREAM_EVENT_QUEUE_H_
+#define SERAPH_STREAM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/graph_stream.h"
+
+namespace seraph {
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Appends an event; timestamps must be non-decreasing (the queue is the
+  // stream order authority).
+  Status Produce(PropertyGraph graph, Timestamp timestamp) {
+    return log_.Append(std::move(graph), timestamp);
+  }
+  Status Produce(std::shared_ptr<const PropertyGraph> graph,
+                 Timestamp timestamp) {
+    return log_.Append(std::move(graph), timestamp);
+  }
+
+  // Creates (or resets) a consumer at offset 0.
+  void Subscribe(const std::string& consumer) { offsets_[consumer] = 0; }
+
+  // Returns up to `max_events` events past the consumer's offset and
+  // advances it. Unknown consumers start at offset 0.
+  std::vector<StreamElement> Poll(const std::string& consumer,
+                                  size_t max_events);
+
+  // Repositions a consumer (replay support).
+  Status Seek(const std::string& consumer, size_t offset);
+
+  size_t size() const { return log_.size(); }
+  const PropertyGraphStream& log() const { return log_; }
+
+ private:
+  PropertyGraphStream log_;
+  std::map<std::string, size_t> offsets_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_STREAM_EVENT_QUEUE_H_

@@ -1,0 +1,42 @@
+#include "stream/graph_stream.h"
+
+#include <algorithm>
+
+namespace seraph {
+
+Status PropertyGraphStream::Append(PropertyGraph graph, Timestamp timestamp) {
+  return Append(std::make_shared<const PropertyGraph>(std::move(graph)),
+                timestamp);
+}
+
+Status PropertyGraphStream::Append(std::shared_ptr<const PropertyGraph> graph,
+                                   Timestamp timestamp) {
+  if (!elements_.empty() && timestamp < elements_.back().timestamp) {
+    return Status::OutOfRange(
+        "stream timestamps must be non-decreasing: got " +
+        timestamp.ToString() + " after " +
+        elements_.back().timestamp.ToString());
+  }
+  elements_.push_back(StreamElement{std::move(graph), timestamp});
+  return Status::OK();
+}
+
+std::vector<StreamElement> PropertyGraphStream::Substream(
+    const TimeInterval& interval, IntervalBounds bounds) const {
+  std::vector<StreamElement> out;
+  for (size_t i = LowerBound(interval.start); i < elements_.size(); ++i) {
+    const StreamElement& e = elements_[i];
+    if (e.timestamp > interval.end) break;
+    if (interval.Contains(e.timestamp, bounds)) out.push_back(e);
+  }
+  return out;
+}
+
+size_t PropertyGraphStream::LowerBound(Timestamp t) const {
+  auto it = std::lower_bound(
+      elements_.begin(), elements_.end(), t,
+      [](const StreamElement& e, Timestamp v) { return e.timestamp < v; });
+  return static_cast<size_t>(it - elements_.begin());
+}
+
+}  // namespace seraph

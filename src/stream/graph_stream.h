@@ -1,0 +1,62 @@
+// Property graph streams (Defs. 5.2–5.3): sequences of timestamped
+// property graphs with non-decreasing timestamps, plus substream selection
+// over time intervals.
+#ifndef SERAPH_STREAM_GRAPH_STREAM_H_
+#define SERAPH_STREAM_GRAPH_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+#include "temporal/interval.h"
+#include "temporal/timestamp.h"
+
+namespace seraph {
+
+// One stream element (G, ω). Graphs are shared immutably once appended.
+struct StreamElement {
+  std::shared_ptr<const PropertyGraph> graph;
+  Timestamp timestamp;
+};
+
+// An in-memory property graph stream: the prefix observed so far of the
+// conceptually unbounded sequence S. Elements must arrive with
+// non-decreasing timestamps (Def. 5.2).
+class PropertyGraphStream {
+ public:
+  PropertyGraphStream() = default;
+
+  // Appends (graph, ω). Fails with kOutOfRange if ω precedes the last
+  // appended timestamp.
+  Status Append(PropertyGraph graph, Timestamp timestamp);
+  Status Append(std::shared_ptr<const PropertyGraph> graph,
+                Timestamp timestamp);
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const StreamElement& at(size_t i) const { return elements_[i]; }
+  const std::vector<StreamElement>& elements() const { return elements_; }
+
+  // Timestamp of the last element (kOutOfRange-like sentinel: epoch when
+  // empty).
+  Timestamp MaxTimestamp() const {
+    return elements_.empty() ? Timestamp() : elements_.back().timestamp;
+  }
+
+  // The substream S_τ: elements whose timestamps fall in `interval` under
+  // `bounds` (Def. 5.3 with the bounds policy of DESIGN.md §2).
+  std::vector<StreamElement> Substream(const TimeInterval& interval,
+                                       IntervalBounds bounds) const;
+
+  // Index of the first element with timestamp >= t (elements are sorted by
+  // timestamp). Used for incremental window maintenance.
+  size_t LowerBound(Timestamp t) const;
+
+ private:
+  std::vector<StreamElement> elements_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_STREAM_GRAPH_STREAM_H_

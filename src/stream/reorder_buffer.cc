@@ -1,0 +1,44 @@
+#include "stream/reorder_buffer.h"
+
+namespace seraph {
+
+bool ReorderBuffer::Offer(std::shared_ptr<const PropertyGraph> graph,
+                          Timestamp timestamp) {
+  if (any_seen_ && timestamp < watermark()) {
+    ++dropped_;
+    return false;
+  }
+  if (!any_seen_ || timestamp > max_seen_) {
+    max_seen_ = timestamp;
+    any_seen_ = true;
+  }
+  held_.emplace(timestamp, std::move(graph));
+  return true;
+}
+
+Timestamp ReorderBuffer::watermark() const {
+  if (!any_seen_) return Timestamp::FromMillis(INT64_MIN / 2);
+  return max_seen_ - allowed_lateness_;
+}
+
+std::vector<StreamElement> ReorderBuffer::Release() {
+  std::vector<StreamElement> out;
+  Timestamp mark = watermark();
+  auto it = held_.begin();
+  while (it != held_.end() && it->first <= mark) {
+    out.push_back(StreamElement{std::move(it->second), it->first});
+    it = held_.erase(it);
+  }
+  return out;
+}
+
+std::vector<StreamElement> ReorderBuffer::Flush() {
+  std::vector<StreamElement> out;
+  for (auto& [ts, graph] : held_) {
+    out.push_back(StreamElement{std::move(graph), ts});
+  }
+  held_.clear();
+  return out;
+}
+
+}  // namespace seraph

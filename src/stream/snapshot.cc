@@ -1,0 +1,195 @@
+#include "stream/snapshot.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "graph/graph_union.h"
+
+namespace seraph {
+
+namespace {
+
+// Index of the first element admissible for a window starting at `start`.
+size_t RangeBegin(const PropertyGraphStream& stream, Timestamp start,
+                  IntervalBounds bounds) {
+  if (bounds == IntervalBounds::kLeftOpenRightClosed) {
+    return stream.LowerBound(Timestamp::FromMillis(start.millis() + 1));
+  }
+  return stream.LowerBound(start);
+}
+
+// Index one past the last admissible element for a window ending at `end`.
+size_t RangeEnd(const PropertyGraphStream& stream, Timestamp end,
+                IntervalBounds bounds) {
+  if (bounds == IntervalBounds::kLeftOpenRightClosed) {
+    return stream.LowerBound(Timestamp::FromMillis(end.millis() + 1));
+  }
+  return stream.LowerBound(end);
+}
+
+}  // namespace
+
+Result<PropertyGraph> BuildSnapshot(const PropertyGraphStream& stream,
+                                    const TimeInterval& interval,
+                                    IntervalBounds bounds) {
+  PropertyGraph snapshot;
+  size_t begin = RangeBegin(stream, interval.start, bounds);
+  size_t end = RangeEnd(stream, interval.end, bounds);
+  for (size_t i = begin; i < end && i < stream.size(); ++i) {
+    SERAPH_RETURN_IF_ERROR(MergeInto(&snapshot, *stream.at(i).graph));
+  }
+  return snapshot;
+}
+
+Status IncrementalSnapshotter::SetBase(
+    std::shared_ptr<const PropertyGraph> base) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "SetBase must be called before the first Advance");
+  }
+  // The base enters as an ordinary (never-evicted) oldest contribution.
+  AddElement(StreamElement{std::move(base),
+                           Timestamp::FromMillis(
+                               std::numeric_limits<int64_t>::min())});
+  return Rebuild();
+}
+
+Status IncrementalSnapshotter::Advance(const TimeInterval& interval) {
+  if (started_ && interval.start < last_interval_.start) {
+    return Status::OutOfRange("window must not slide backwards");
+  }
+  size_t new_lo = RangeBegin(*stream_, interval.start, bounds_);
+  size_t new_hi = RangeEnd(*stream_, interval.end, bounds_);
+  new_hi = std::min(new_hi, stream_->size());
+  new_lo = std::min(new_lo, new_hi);
+  if (started_ && new_hi < hi_) {
+    return Status::OutOfRange("window end must not move backwards");
+  }
+  // Append newly-covered elements, then evict expired ones.
+  for (size_t i = std::max(hi_, new_lo); i < new_hi; ++i) {
+    AddElement(stream_->at(i));
+  }
+  for (size_t i = lo_; i < std::min(new_lo, hi_); ++i) {
+    EvictElement(stream_->at(i));
+  }
+  lo_ = new_lo;
+  hi_ = new_hi;
+  started_ = true;
+  last_interval_ = interval;
+  return Rebuild();
+}
+
+void IncrementalSnapshotter::AddElement(const StreamElement& element) {
+  const PropertyGraph& g = *element.graph;
+  for (NodeId id : g.NodeIds()) {
+    node_contribs_[id].push_back(
+        NodeContribution{element.timestamp, element.graph, g.node(id)});
+    dirty_nodes_.push_back(id);
+  }
+  for (RelId id : g.RelationshipIds()) {
+    rel_contribs_[id].push_back(
+        RelContribution{element.timestamp, element.graph, g.relationship(id)});
+    dirty_rels_.push_back(id);
+  }
+}
+
+void IncrementalSnapshotter::EvictElement(const StreamElement& element) {
+  // Evictions proceed oldest-first, so the contribution to drop is the
+  // first one owned by `element` — possibly behind a base-graph
+  // contribution, which is never evicted.
+  const PropertyGraph& g = *element.graph;
+  for (NodeId id : g.NodeIds()) {
+    auto it = node_contribs_.find(id);
+    SERAPH_CHECK(it != node_contribs_.end() && !it->second.empty())
+        << "evicting node contribution that was never added";
+    auto& deque = it->second;
+    auto hit = deque.begin();
+    while (hit != deque.end() && hit->owner.get() != element.graph.get()) {
+      ++hit;
+    }
+    SERAPH_CHECK(hit != deque.end()) << "eviction out of order";
+    deque.erase(hit);
+    dirty_nodes_.push_back(id);
+  }
+  for (RelId id : g.RelationshipIds()) {
+    auto it = rel_contribs_.find(id);
+    SERAPH_CHECK(it != rel_contribs_.end() && !it->second.empty())
+        << "evicting relationship contribution that was never added";
+    auto& deque = it->second;
+    auto hit = deque.begin();
+    while (hit != deque.end() && hit->owner.get() != element.graph.get()) {
+      ++hit;
+    }
+    SERAPH_CHECK(hit != deque.end()) << "eviction out of order";
+    deque.erase(hit);
+    dirty_rels_.push_back(id);
+  }
+}
+
+Status IncrementalSnapshotter::Rebuild() {
+  // Relationships first: a dirty relationship may need removal before its
+  // endpoint nodes are recomputed, and (re-)insertion afterwards.
+  std::sort(dirty_rels_.begin(), dirty_rels_.end());
+  dirty_rels_.erase(std::unique(dirty_rels_.begin(), dirty_rels_.end()),
+                    dirty_rels_.end());
+  std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
+  dirty_nodes_.erase(std::unique(dirty_nodes_.begin(), dirty_nodes_.end()),
+                     dirty_nodes_.end());
+
+  for (RelId id : dirty_rels_) {
+    auto it = rel_contribs_.find(id);
+    if (it != rel_contribs_.end() && it->second.empty()) {
+      rel_contribs_.erase(it);
+      it = rel_contribs_.end();
+    }
+    if (it == rel_contribs_.end()) {
+      snapshot_.RemoveRelationship(id);
+    }
+  }
+  for (NodeId id : dirty_nodes_) {
+    auto it = node_contribs_.find(id);
+    if (it != node_contribs_.end() && it->second.empty()) {
+      node_contribs_.erase(it);
+      it = node_contribs_.end();
+    }
+    if (it == node_contribs_.end()) {
+      // Every relationship referencing the node is gone too (an element's
+      // relationships always come with their endpoints).
+      snapshot_.RemoveNode(id);
+      continue;
+    }
+    NodeData merged = *it->second.front().data;
+    for (size_t i = 1; i < it->second.size(); ++i) {
+      const NodeData& next = *it->second[i].data;
+      merged.labels.insert(next.labels.begin(), next.labels.end());
+      for (const auto& [key, value] : next.properties) {
+        merged.properties[key] = value;
+      }
+    }
+    snapshot_.SetNodeData(id, std::move(merged));
+  }
+  for (RelId id : dirty_rels_) {
+    auto it = rel_contribs_.find(id);
+    if (it == rel_contribs_.end()) continue;
+    RelData merged = *it->second.front().data;
+    for (size_t i = 1; i < it->second.size(); ++i) {
+      const RelData& next = *it->second[i].data;
+      if (next.src != merged.src || next.trg != merged.trg ||
+          next.type != merged.type) {
+        return Status::Inconsistent(
+            "relationship " + std::to_string(id.value) +
+            " has conflicting endpoints/type across stream elements");
+      }
+      for (const auto& [key, value] : next.properties) {
+        merged.properties[key] = value;
+      }
+    }
+    SERAPH_RETURN_IF_ERROR(snapshot_.SetRelationshipData(id, std::move(merged)));
+  }
+  dirty_nodes_.clear();
+  dirty_rels_.clear();
+  return Status::OK();
+}
+
+}  // namespace seraph

@@ -1,0 +1,59 @@
+#include "stream/window.h"
+
+namespace seraph {
+
+Status WindowConfig::Validate() const {
+  if (width.millis() <= 0) {
+    return Status::InvalidArgument("window width (WITHIN) must be positive");
+  }
+  if (slide.millis() <= 0) {
+    return Status::InvalidArgument("slide (EVERY) must be positive");
+  }
+  return Status::OK();
+}
+
+TimeInterval WindowConfig::WindowAt(int64_t i) const {
+  if (semantics == WindowSemantics::kLookback) {
+    // Windows end at evaluation instants: w_i = [ω0 + iβ − α, ω0 + iβ].
+    Timestamp end = start + Duration::FromMillis(slide.millis() * i);
+    return TimeInterval{end - width, end};
+  }
+  Timestamp open = start + Duration::FromMillis(slide.millis() * i);
+  return TimeInterval{open, open + width};
+}
+
+std::optional<TimeInterval> WindowConfig::ActiveWindow(Timestamp t) const {
+  if (t < start) return std::nullopt;
+  int64_t since = t.millis() - start.millis();
+  if (semantics == WindowSemantics::kLookback) {
+    return TimeInterval{t - width, t};
+  }
+  // Earliest-opening window containing t (Def. 5.11, Fig. 4): the
+  // smallest i with iβ + α > since is i = floor((since − α) / β) + 1
+  // (or 0 while since < α); it contains since unless its opening lies
+  // beyond since — the gap case when β > α.
+  int64_t beta = slide.millis();
+  int64_t alpha = width.millis();
+  int64_t i = since >= alpha ? (since - alpha) / beta + 1 : 0;
+  if (i * beta > since) return std::nullopt;
+  return WindowAt(i);
+}
+
+std::vector<Timestamp> EvaluationTimes::UpTo(Timestamp horizon) const {
+  std::vector<Timestamp> out;
+  for (int64_t i = 0;; ++i) {
+    Timestamp t = at(i);
+    if (t > horizon) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+Timestamp EvaluationTimes::NextAfter(Timestamp t) const {
+  if (t < start_) return start_;
+  int64_t since = t.millis() - start_.millis();
+  int64_t i = since / slide_.millis() + 1;
+  return at(i);
+}
+
+}  // namespace seraph

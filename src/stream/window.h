@@ -1,0 +1,84 @@
+// Time-based windows (Def. 5.9), evaluation time instants (Def. 5.10), and
+// active-substream/window selection (Def. 5.11).
+//
+// Two window semantics are provided (see DESIGN.md §2):
+//  * kLookback (default): the active window at evaluation instant t is
+//    [t − α, t], matching every worked example in the paper (Tables 5/6,
+//    §5.4 narrative). Stream elements are selected with (t − α, t]
+//    (left-open right-closed) so the element arriving exactly at the
+//    evaluation instant is included.
+//  * kPaperFormal: the literal Def. 5.9/5.11 reading — forward windows
+//    w_i = [ω0 + iβ, ω0 + iβ + α), elements selected left-closed
+//    right-open, and the active window at t is the earliest-opening
+//    window containing t.
+#ifndef SERAPH_STREAM_WINDOW_H_
+#define SERAPH_STREAM_WINDOW_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "temporal/duration.h"
+#include "temporal/interval.h"
+#include "temporal/timestamp.h"
+
+namespace seraph {
+
+enum class WindowSemantics {
+  kLookback,
+  kPaperFormal,
+};
+
+// The window operator configuration (ω0, α, β) of Def. 5.9. `width` is the
+// window size α (per-MATCH, from WITHIN); `slide` is β (from EVERY).
+struct WindowConfig {
+  Timestamp start;  // ω0, from STARTING AT.
+  Duration width;   // α.
+  Duration slide;   // β.
+  WindowSemantics semantics = WindowSemantics::kLookback;
+
+  // Validates α > 0, β > 0.
+  Status Validate() const;
+
+  // The i-th window of W(ω0, α, β).
+  TimeInterval WindowAt(int64_t i) const;
+
+  // Element-membership bounds for this semantics.
+  IntervalBounds bounds() const {
+    return semantics == WindowSemantics::kLookback
+               ? IntervalBounds::kLeftOpenRightClosed
+               : IntervalBounds::kLeftClosedRightOpen;
+  }
+
+  // The active window for evaluation instant t (Def. 5.11): under
+  // kLookback, [t − α, t]; under kPaperFormal, the earliest-opening window
+  // containing t (nullopt when t < ω0).
+  std::optional<TimeInterval> ActiveWindow(Timestamp t) const;
+};
+
+// The sequence ET of evaluation time instants (Def. 5.10): ω0, ω0 + β,
+// ω0 + 2β, ... Provides iteration bounded by the observed stream horizon.
+class EvaluationTimes {
+ public:
+  EvaluationTimes(Timestamp start, Duration slide)
+      : start_(start), slide_(slide) {}
+
+  // The i-th evaluation instant.
+  Timestamp at(int64_t i) const {
+    return start_ + Duration::FromMillis(slide_.millis() * i);
+  }
+
+  // All evaluation instants in [start_, horizon] (inclusive).
+  std::vector<Timestamp> UpTo(Timestamp horizon) const;
+
+  // The first evaluation instant strictly after `t` (for resuming).
+  Timestamp NextAfter(Timestamp t) const;
+
+ private:
+  Timestamp start_;
+  Duration slide_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_STREAM_WINDOW_H_

@@ -1,0 +1,30 @@
+#include "table/record.h"
+
+#include "common/hash.h"
+
+namespace seraph {
+
+size_t Record::Hash() const {
+  size_t seed = 0;
+  for (const auto& [name, value] : fields_) {
+    HashCombine(&seed, name);
+    HashCombine(&seed, value.Hash());
+  }
+  return seed;
+}
+
+std::string Record::ToString() const {
+  std::string out = "(";
+  bool first = true;
+  for (const auto& [name, value] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name;
+    out += ": ";
+    out += value.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace seraph

@@ -1,0 +1,92 @@
+// Records (Def. 3.2): partial functions from names to values, written
+// u = (a1: v1, ..., an: vn). A record's *domain* is its set of names.
+#ifndef SERAPH_TABLE_RECORD_H_
+#define SERAPH_TABLE_RECORD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace seraph {
+
+class Record {
+ public:
+  Record() = default;
+
+  explicit Record(std::map<std::string, Value> fields)
+      : fields_(std::move(fields)) {}
+
+  // Returns the bound value, or nullptr if `name` ∉ dom(u).
+  const Value* Find(const std::string& name) const {
+    auto it = fields_.find(name);
+    return it == fields_.end() ? nullptr : &it->second;
+  }
+
+  // Returns the bound value, or null when unbound (convenient for
+  // expression evaluation where unbound degenerates to null).
+  Value GetOrNull(const std::string& name) const {
+    const Value* v = Find(name);
+    return v == nullptr ? Value::Null() : *v;
+  }
+
+  bool Has(const std::string& name) const { return fields_.contains(name); }
+
+  // Binds `name` to `value`, overwriting any existing binding.
+  void Set(std::string name, Value value) {
+    fields_[std::move(name)] = std::move(value);
+  }
+
+  void Erase(const std::string& name) { fields_.erase(name); }
+
+  // dom(u).
+  std::set<std::string> Domain() const {
+    std::set<std::string> names;
+    for (const auto& [name, value] : fields_) names.insert(name);
+    return names;
+  }
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  // The record u · u' extending this record with `other`'s bindings.
+  // Overlapping names must agree with this record — callers (pattern
+  // matching) guarantee disjointness or equality.
+  Record Extended(const Record& other) const {
+    Record out = *this;
+    for (const auto& [name, value] : other.fields_) {
+      out.fields_[name] = value;
+    }
+    return out;
+  }
+
+  // Name-ordered iteration (deterministic).
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Record& a, const Record& b) {
+    return !(a == b);
+  }
+
+  size_t Hash() const;
+
+  // "(a1: v1, a2: v2)".
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Value> fields_;
+};
+
+}  // namespace seraph
+
+template <>
+struct std::hash<seraph::Record> {
+  size_t operator()(const seraph::Record& r) const { return r.Hash(); }
+};
+
+#endif  // SERAPH_TABLE_RECORD_H_

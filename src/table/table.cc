@@ -1,0 +1,155 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace seraph {
+
+void Table::Append(Record row) {
+  SERAPH_DCHECK(row.Domain() == fields_)
+      << "row domain " << row.ToString() << " does not match table fields";
+  rows_.push_back(std::move(row));
+}
+
+Table Table::BagUnion(const Table& a, const Table& b) {
+  SERAPH_DCHECK(a.fields_ == b.fields_ || a.empty() || b.empty())
+      << "bag union of tables with different fields";
+  Table out(a.empty() ? b.fields_ : a.fields_);
+  out.rows_ = a.rows_;
+  out.rows_.insert(out.rows_.end(), b.rows_.begin(), b.rows_.end());
+  return out;
+}
+
+Table Table::BagDifference(const Table& a, const Table& b) {
+  std::unordered_map<Record, size_t> to_remove;
+  to_remove.reserve(b.rows_.size());
+  for (const Record& r : b.rows_) ++to_remove[r];
+  Table out(a.fields_);
+  for (const Record& r : a.rows_) {
+    auto it = to_remove.find(r);
+    if (it != to_remove.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.rows_.push_back(r);
+  }
+  return out;
+}
+
+Table Table::Distinct() const {
+  std::unordered_map<Record, bool> seen;
+  seen.reserve(rows_.size());
+  Table out(fields_);
+  for (const Record& r : rows_) {
+    auto [it, inserted] = seen.try_emplace(r, true);
+    if (inserted) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+Table Table::Project(const std::set<std::string>& names) const {
+  std::set<std::string> kept;
+  for (const std::string& f : fields_) {
+    if (names.contains(f)) kept.insert(f);
+  }
+  Table out(kept);
+  for (const Record& r : rows_) {
+    Record projected;
+    for (const std::string& name : kept) {
+      const Value* v = r.Find(name);
+      if (v != nullptr) projected.Set(name, *v);
+    }
+    out.rows_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+void Table::SortRows(
+    const std::function<bool(const Record&, const Record&)>& cmp) {
+  std::stable_sort(rows_.begin(), rows_.end(), cmp);
+}
+
+Table Table::Canonicalized() const {
+  Table out = *this;
+  out.SortRows([](const Record& a, const Record& b) {
+    auto ia = a.begin();
+    auto ib = b.begin();
+    for (; ia != a.end() && ib != b.end(); ++ia, ++ib) {
+      if (ia->first != ib->first) return ia->first < ib->first;
+      int c = Value::Compare(ia->second, ib->second);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return out;
+}
+
+size_t Table::Count(const Record& row) const {
+  size_t n = 0;
+  for (const Record& r : rows_) {
+    if (r == row) ++n;
+  }
+  return n;
+}
+
+bool operator==(const Table& a, const Table& b) {
+  if (a.fields_ != b.fields_) return false;
+  if (a.rows_.size() != b.rows_.size()) return false;
+  std::unordered_map<Record, int64_t> counts;
+  counts.reserve(a.rows_.size());
+  for (const Record& r : a.rows_) ++counts[r];
+  for (const Record& r : b.rows_) {
+    auto it = counts.find(r);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+std::string Table::ToAsciiTable(
+    const std::vector<std::string>& columns) const {
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size() + 1);
+  cells.push_back(columns);
+  for (const Record& r : rows_) {
+    std::vector<std::string> row;
+    row.reserve(columns.size());
+    for (const std::string& col : columns) {
+      row.push_back(r.GetOrNull(col).ToString());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(columns.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t ri = 0; ri < cells.size(); ++ri) {
+    os << "|";
+    for (size_t i = 0; i < cells[ri].size(); ++i) {
+      os << " " << cells[ri][i]
+         << std::string(widths[i] - cells[ri][i].size(), ' ') << " |";
+    }
+    os << "\n";
+    if (ri == 0) {
+      os << "|";
+      for (size_t i = 0; i < widths.size(); ++i) {
+        os << std::string(widths[i] + 2, '-') << "|";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Table::ToString() const {
+  std::vector<std::string> columns(fields_.begin(), fields_.end());
+  return ToAsciiTable(columns);
+}
+
+}  // namespace seraph

@@ -1,0 +1,41 @@
+#include "table/time_table.h"
+
+#include "common/logging.h"
+
+namespace seraph {
+
+Table TimeAnnotatedTable::WithAnnotations() const {
+  std::set<std::string> fields = table.fields();
+  fields.insert(kWinStartField);
+  fields.insert(kWinEndField);
+  Table out(std::move(fields));
+  for (const Record& row : table.rows()) {
+    Record annotated = row;
+    annotated.Set(kWinStartField, Value::DateTime(window.start));
+    annotated.Set(kWinEndField, Value::DateTime(window.end));
+    out.AppendUnchecked(std::move(annotated));
+  }
+  return out;
+}
+
+void TimeVaryingTable::Insert(TimeAnnotatedTable entry) {
+  if (!entries_.empty()) {
+    SERAPH_CHECK(entries_.back().window.start <= entry.window.start)
+        << "time-varying table windows must open monotonically";
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::optional<TimeAnnotatedTable> TimeVaryingTable::At(Timestamp t) const {
+  // Entries are ordered by opening bound; the first whose window covers t
+  // is the chronologically-earliest valid table.
+  for (const TimeAnnotatedTable& entry : entries_) {
+    if (entry.window.start > t) break;
+    if (entry.window.Contains(t, IntervalBounds::kLeftClosedRightOpen)) {
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace seraph

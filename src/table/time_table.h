@@ -1,0 +1,73 @@
+// Time-annotated tables (Def. 5.6) and time-varying tables (Def. 5.7).
+//
+// A time-annotated table is a table whose records are (conceptually)
+// extended with the reserved names `win_start` and `win_end` carrying the
+// evaluation window's bounds. We keep the interval once per table and
+// materialize the two columns on demand (`WithAnnotations`), which is
+// observationally identical and avoids duplicating the bounds per row.
+//
+// A time-varying table Ψ maps every time instant ω ∈ Ω to the
+// time-annotated table valid at ω, subject to the paper's consistency /
+// chronologicality / monotonicity constraints — realized here by storing
+// the sequence of evaluation results keyed by window and answering At(ω)
+// with the earliest-opening table whose interval covers ω.
+#ifndef SERAPH_TABLE_TIME_TABLE_H_
+#define SERAPH_TABLE_TIME_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "temporal/interval.h"
+
+namespace seraph {
+
+// Reserved field names (Def. 5.6). Queries must not bind these.
+inline constexpr char kWinStartField[] = "win_start";
+inline constexpr char kWinEndField[] = "win_end";
+
+// A table valid for the window [window.start, window.end).
+struct TimeAnnotatedTable {
+  Table table;
+  TimeInterval window;
+
+  // Returns `table` with explicit win_start / win_end columns added to
+  // every record (datetime-valued), i.e. the literal Def. 5.6 shape used
+  // in the paper's Tables 4–6.
+  Table WithAnnotations() const;
+
+  friend bool operator==(const TimeAnnotatedTable& a,
+                         const TimeAnnotatedTable& b) {
+    return a.window == b.window && a.table == b.table;
+  }
+};
+
+// Ψ : Ω → time-annotated tables.
+class TimeVaryingTable {
+ public:
+  TimeVaryingTable() = default;
+
+  // Records the evaluation result for a window. Windows must be inserted
+  // in non-decreasing order of their opening bound (monotonicity).
+  void Insert(TimeAnnotatedTable entry);
+
+  // Ψ(ω): the time-annotated table with the earliest opening timestamp
+  // whose window contains ω (consistency + chronologicality). Returns
+  // nullopt when no table is valid at ω.
+  std::optional<TimeAnnotatedTable> At(Timestamp t) const;
+
+  // All recorded tables in insertion (chronological) order.
+  const std::vector<TimeAnnotatedTable>& entries() const { return entries_; }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TimeAnnotatedTable> entries_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_TABLE_TIME_TABLE_H_

@@ -1,0 +1,166 @@
+#include "temporal/duration.h"
+
+#include <cctype>
+#include <string>
+
+namespace seraph {
+
+namespace {
+
+// Parses an unsigned decimal number (optionally with a fraction) starting at
+// `*pos`; yields the value scaled by `unit_millis`.
+bool ParseComponent(std::string_view text, size_t* pos, int64_t unit_millis,
+                    int64_t* out_millis) {
+  size_t start = *pos;
+  int64_t whole = 0;
+  while (*pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[*pos]))) {
+    whole = whole * 10 + (text[*pos] - '0');
+    ++(*pos);
+  }
+  if (*pos == start) return false;
+  double fraction = 0.0;
+  if (*pos < text.size() && (text[*pos] == '.' || text[*pos] == ',')) {
+    ++(*pos);
+    double scale = 0.1;
+    size_t frac_start = *pos;
+    while (*pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[*pos]))) {
+      fraction += (text[*pos] - '0') * scale;
+      scale *= 0.1;
+      ++(*pos);
+    }
+    if (*pos == frac_start) return false;
+  }
+  *out_millis = whole * unit_millis +
+                static_cast<int64_t>(fraction * unit_millis + 0.5);
+  return true;
+}
+
+}  // namespace
+
+Result<Duration> Duration::Parse(std::string_view text) {
+  auto fail = [&text]() {
+    return Status::InvalidArgument("malformed ISO-8601 duration: '" +
+                                   std::string(text) + "'");
+  };
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && text[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  if (pos >= text.size() || (text[pos] != 'P' && text[pos] != 'p')) {
+    return fail();
+  }
+  ++pos;
+  int64_t total = 0;
+  bool in_time = false;
+  bool any_component = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == 'T' || c == 't') {
+      in_time = true;
+      ++pos;
+      continue;
+    }
+    int64_t component = 0;
+    size_t num_start = pos;
+    // Peek the number, then dispatch on the unit designator.
+    {
+      size_t probe = pos;
+      while (probe < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[probe])) ||
+              text[probe] == '.' || text[probe] == ',')) {
+        ++probe;
+      }
+      if (probe == pos || probe >= text.size()) return fail();
+      char unit = text[probe];
+      int64_t unit_millis = 0;
+      if (!in_time) {
+        switch (unit) {
+          case 'D':
+          case 'd':
+            unit_millis = 24LL * 60 * 60 * 1000;
+            break;
+          case 'W':
+          case 'w':
+            unit_millis = 7LL * 24 * 60 * 60 * 1000;
+            break;
+          case 'Y':
+          case 'y':
+          case 'M':
+          case 'm':
+            return Status::InvalidArgument(
+                "calendar (year/month) durations are not fixed-length and "
+                "are not supported in window specifications: '" +
+                std::string(text) + "'");
+          default:
+            return fail();
+        }
+      } else {
+        switch (unit) {
+          case 'H':
+          case 'h':
+            unit_millis = 60LL * 60 * 1000;
+            break;
+          case 'M':
+          case 'm':
+            unit_millis = 60LL * 1000;
+            break;
+          case 'S':
+          case 's':
+            unit_millis = 1000;
+            break;
+          default:
+            return fail();
+        }
+      }
+      if (!ParseComponent(text, &pos, unit_millis, &component)) return fail();
+      if (pos != probe) return fail();
+      ++pos;  // Consume the unit designator.
+    }
+    (void)num_start;
+    total += component;
+    any_component = true;
+  }
+  if (!any_component) return fail();
+  return Duration::FromMillis(negative ? -total : total);
+}
+
+std::string Duration::ToString() const {
+  int64_t ms = millis_;
+  std::string out;
+  if (ms < 0) {
+    out += '-';
+    ms = -ms;
+  }
+  out += 'P';
+  int64_t days = ms / (24LL * 60 * 60 * 1000);
+  ms %= 24LL * 60 * 60 * 1000;
+  if (days > 0) out += std::to_string(days) + "D";
+  if (ms > 0 || days == 0) {
+    out += 'T';
+    int64_t hours = ms / (60LL * 60 * 1000);
+    ms %= 60LL * 60 * 1000;
+    int64_t minutes = ms / (60LL * 1000);
+    ms %= 60LL * 1000;
+    int64_t seconds = ms / 1000;
+    int64_t milliseconds = ms % 1000;
+    if (hours > 0) out += std::to_string(hours) + "H";
+    if (minutes > 0) out += std::to_string(minutes) + "M";
+    if (milliseconds > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(seconds),
+                    static_cast<long long>(milliseconds));
+      out += buf;
+      out += 'S';
+    } else if (seconds > 0 || (hours == 0 && minutes == 0)) {
+      out += std::to_string(seconds) + "S";
+    }
+  }
+  return out;
+}
+
+}  // namespace seraph

@@ -1,0 +1,98 @@
+// Time-unit spans (window widths α, slides β, report periods).
+//
+// Parsing accepts the ISO-8601 duration subset the paper uses: "PT5M",
+// "PT1H", "PT30S", "P2D", "PT1H30M", "PT0.5S", "P1DT12H". Year/month
+// components are rejected: they have no fixed length, and Seraph windows
+// are defined "in time units" (Def. 5.9).
+#ifndef SERAPH_TEMPORAL_DURATION_H_
+#define SERAPH_TEMPORAL_DURATION_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace seraph {
+
+// A signed span of time with millisecond resolution.
+class Duration {
+ public:
+  constexpr Duration() : millis_(0) {}
+
+  static constexpr Duration FromMillis(int64_t ms) { return Duration(ms); }
+  static constexpr Duration FromSeconds(int64_t s) {
+    return Duration(s * 1000);
+  }
+  static constexpr Duration FromMinutes(int64_t m) {
+    return Duration(m * 60 * 1000);
+  }
+  static constexpr Duration FromHours(int64_t h) {
+    return Duration(h * 60 * 60 * 1000);
+  }
+  static constexpr Duration FromDays(int64_t d) {
+    return Duration(d * 24 * 60 * 60 * 1000);
+  }
+
+  // Parses the ISO-8601 duration subset described above.
+  static Result<Duration> Parse(std::string_view text);
+
+  constexpr int64_t millis() const { return millis_; }
+  constexpr double seconds() const { return millis_ / 1000.0; }
+  constexpr double minutes() const { return millis_ / 60000.0; }
+
+  constexpr bool is_zero() const { return millis_ == 0; }
+  constexpr bool is_negative() const { return millis_ < 0; }
+
+  // Canonical ISO-8601 rendering, e.g. "PT5M", "P1DT2H30M", "PT0S".
+  std::string ToString() const;
+
+  friend constexpr bool operator==(Duration a, Duration b) {
+    return a.millis_ == b.millis_;
+  }
+  friend constexpr bool operator!=(Duration a, Duration b) {
+    return a.millis_ != b.millis_;
+  }
+  friend constexpr bool operator<(Duration a, Duration b) {
+    return a.millis_ < b.millis_;
+  }
+  friend constexpr bool operator<=(Duration a, Duration b) {
+    return a.millis_ <= b.millis_;
+  }
+  friend constexpr bool operator>(Duration a, Duration b) {
+    return a.millis_ > b.millis_;
+  }
+  friend constexpr bool operator>=(Duration a, Duration b) {
+    return a.millis_ >= b.millis_;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.millis_ + b.millis_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.millis_ - b.millis_);
+  }
+  friend constexpr Duration operator*(Duration a, int64_t k) {
+    return Duration(a.millis_ * k);
+  }
+  friend constexpr Duration operator*(int64_t k, Duration a) {
+    return Duration(a.millis_ * k);
+  }
+  friend constexpr Duration operator-(Duration a) {
+    return Duration(-a.millis_);
+  }
+
+ private:
+  explicit constexpr Duration(int64_t millis) : millis_(millis) {}
+
+  int64_t millis_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+}  // namespace seraph
+
+#endif  // SERAPH_TEMPORAL_DURATION_H_

@@ -1,0 +1,56 @@
+// Time intervals τ = [ω_l, ω_r) (Def. 5.1) and the bounds policies used to
+// test stream-element membership (see DESIGN.md §2 on the paper's
+// formal-vs-example discrepancy).
+#ifndef SERAPH_TEMPORAL_INTERVAL_H_
+#define SERAPH_TEMPORAL_INTERVAL_H_
+
+#include <ostream>
+#include <string>
+
+#include "temporal/duration.h"
+#include "temporal/timestamp.h"
+
+namespace seraph {
+
+// Which endpoints of an interval include a stream element's timestamp.
+enum class IntervalBounds {
+  kLeftClosedRightOpen,  // [l, r)  — literal Def. 5.1 / 5.9.
+  kLeftOpenRightClosed,  // (l, r]  — matches all worked examples (§5.4).
+};
+
+// A bounded span of the time domain with start/end instants. Membership is
+// interpreted under an explicit IntervalBounds policy.
+struct TimeInterval {
+  Timestamp start;
+  Timestamp end;
+
+  Duration width() const { return end - start; }
+
+  bool Contains(Timestamp t, IntervalBounds bounds) const {
+    switch (bounds) {
+      case IntervalBounds::kLeftClosedRightOpen:
+        return start <= t && t < end;
+      case IntervalBounds::kLeftOpenRightClosed:
+        return start < t && t <= end;
+    }
+    return false;
+  }
+
+  bool empty() const { return !(start < end); }
+
+  std::string ToString() const {
+    return "[" + start.ToString() + ", " + end.ToString() + ")";
+  }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TimeInterval& t) {
+  return os << t.ToString();
+}
+
+}  // namespace seraph
+
+#endif  // SERAPH_TEMPORAL_INTERVAL_H_

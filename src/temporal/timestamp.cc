@@ -1,0 +1,175 @@
+#include "temporal/timestamp.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "temporal/duration.h"
+
+namespace seraph {
+
+namespace {
+
+constexpr int64_t kMillisPerSecond = 1000;
+constexpr int64_t kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr int64_t kMillisPerHour = 60 * kMillisPerMinute;
+constexpr int64_t kMillisPerDay = 24 * kMillisPerHour;
+
+// Days from the civil epoch 1970-01-01 (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                           // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;   // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                        // [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int y, int m) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Parses exactly `width` decimal digits starting at `*pos`; advances `*pos`.
+bool ParseDigits(std::string_view text, size_t* pos, int width, int* out) {
+  if (*pos + width > text.size()) return false;
+  int v = 0;
+  for (int i = 0; i < width; ++i) {
+    char c = text[*pos + i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  *pos += width;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Timestamp> Timestamp::FromCivil(int year, int month, int day, int hour,
+                                       int minute, int second,
+                                       int millisecond) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range");
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59 || millisecond < 0 || millisecond > 999) {
+    return Status::InvalidArgument("time-of-day out of range");
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t ms = days * kMillisPerDay + hour * kMillisPerHour +
+               minute * kMillisPerMinute + second * kMillisPerSecond +
+               millisecond;
+  return Timestamp::FromMillis(ms);
+}
+
+Result<Timestamp> Timestamp::Parse(std::string_view text) {
+  size_t pos = 0;
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  int millisecond = 0;
+  auto fail = [&text]() {
+    return Status::InvalidArgument("malformed ISO-8601 datetime: '" +
+                                   std::string(text) + "'");
+  };
+  if (!ParseDigits(text, &pos, 4, &year)) return fail();
+  if (pos >= text.size() || text[pos] != '-') return fail();
+  ++pos;
+  if (!ParseDigits(text, &pos, 2, &month)) return fail();
+  if (pos >= text.size() || text[pos] != '-') return fail();
+  ++pos;
+  if (!ParseDigits(text, &pos, 2, &day)) return fail();
+  if (pos < text.size()) {
+    if (text[pos] != 'T' && text[pos] != ' ') return fail();
+    ++pos;
+    if (!ParseDigits(text, &pos, 2, &hour)) return fail();
+    if (pos >= text.size() || text[pos] != ':') return fail();
+    ++pos;
+    if (!ParseDigits(text, &pos, 2, &minute)) return fail();
+    if (pos < text.size() && text[pos] == ':') {
+      ++pos;
+      if (!ParseDigits(text, &pos, 2, &second)) return fail();
+      if (pos < text.size() && text[pos] == '.') {
+        ++pos;
+        if (!ParseDigits(text, &pos, 3, &millisecond)) return fail();
+      }
+    }
+    // The paper writes instants like "2022-10-14T14:45h"; tolerate the
+    // trailing hour marker and an explicit UTC 'Z'.
+    if (pos < text.size() && (text[pos] == 'h' || text[pos] == 'Z')) ++pos;
+  }
+  if (pos != text.size()) return fail();
+  return FromCivil(year, month, day, hour, minute, second, millisecond);
+}
+
+std::string Timestamp::ToString() const {
+  int64_t ms = millis_;
+  int64_t days = ms / kMillisPerDay;
+  int64_t rem = ms % kMillisPerDay;
+  if (rem < 0) {
+    rem += kMillisPerDay;
+    --days;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int hour = static_cast<int>(rem / kMillisPerHour);
+  int minute = static_cast<int>((rem / kMillisPerMinute) % 60);
+  int second = static_cast<int>((rem / kMillisPerSecond) % 60);
+  int milli = static_cast<int>(rem % kMillisPerSecond);
+  char buf[40];
+  if (milli != 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d", y, m,
+                  d, hour, minute, second, milli);
+  } else if (second != 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d", y, m, d,
+                  hour, minute, second);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d", y, m, d, hour,
+                  minute);
+  }
+  return buf;
+}
+
+std::string Timestamp::ToClockString() const {
+  int64_t rem = millis_ % kMillisPerDay;
+  if (rem < 0) rem += kMillisPerDay;
+  int hour = static_cast<int>(rem / kMillisPerHour);
+  int minute = static_cast<int>((rem / kMillisPerMinute) % 60);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d", hour, minute);
+  return buf;
+}
+
+Timestamp operator+(Timestamp t, Duration d) {
+  return Timestamp::FromMillis(t.millis() + d.millis());
+}
+
+Timestamp operator-(Timestamp t, Duration d) {
+  return Timestamp::FromMillis(t.millis() - d.millis());
+}
+
+Duration operator-(Timestamp a, Timestamp b) {
+  return Duration::FromMillis(a.millis() - b.millis());
+}
+
+}  // namespace seraph

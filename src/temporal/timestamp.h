@@ -1,0 +1,95 @@
+// Time instants (Def. 5.1): the library models time as a discrete domain of
+// milliseconds since the Unix epoch (UTC). A `Timestamp` is one time
+// instant; arithmetic with `Duration` (duration.h) moves along the domain.
+//
+// Parsing accepts the ISO-8601 subset used throughout the paper, e.g.
+// "2022-10-14T14:45", "2022-10-14T14:45:30", "2022-10-14T14:45:30.250",
+// and tolerates the paper's informal trailing "h" ("...T14:45h").
+#ifndef SERAPH_TEMPORAL_TIMESTAMP_H_
+#define SERAPH_TEMPORAL_TIMESTAMP_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace seraph {
+
+class Duration;
+
+// A time instant ω ∈ Ω, with millisecond resolution.
+class Timestamp {
+ public:
+  // The epoch (1970-01-01T00:00:00Z).
+  constexpr Timestamp() : millis_(0) {}
+
+  // Constructs from a raw millisecond count since the epoch.
+  static constexpr Timestamp FromMillis(int64_t millis) {
+    return Timestamp(millis);
+  }
+
+  // Constructs from UTC civil fields. Fields outside their natural ranges
+  // are rejected.
+  static Result<Timestamp> FromCivil(int year, int month, int day, int hour,
+                                     int minute, int second = 0,
+                                     int millisecond = 0);
+
+  // Parses the ISO-8601 subset described in the file comment.
+  static Result<Timestamp> Parse(std::string_view text);
+
+  constexpr int64_t millis() const { return millis_; }
+
+  // Formats as "YYYY-MM-DDTHH:MM" (extending to seconds / milliseconds only
+  // when they are non-zero).
+  std::string ToString() const;
+
+  // Formats the time-of-day as "HH:MM" — the shape used in the paper's
+  // tables (e.g. "14:40").
+  std::string ToClockString() const;
+
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.millis_ == b.millis_;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) {
+    return a.millis_ != b.millis_;
+  }
+  friend constexpr bool operator<(Timestamp a, Timestamp b) {
+    return a.millis_ < b.millis_;
+  }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) {
+    return a.millis_ <= b.millis_;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) {
+    return a.millis_ > b.millis_;
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) {
+    return a.millis_ >= b.millis_;
+  }
+
+ private:
+  explicit constexpr Timestamp(int64_t millis) : millis_(millis) {}
+
+  int64_t millis_;
+};
+
+Timestamp operator+(Timestamp t, Duration d);
+Timestamp operator-(Timestamp t, Duration d);
+// The duration from `b` to `a` (may be negative).
+Duration operator-(Timestamp a, Timestamp b);
+
+inline std::ostream& operator<<(std::ostream& os, Timestamp t) {
+  return os << t.ToString();
+}
+
+}  // namespace seraph
+
+template <>
+struct std::hash<seraph::Timestamp> {
+  size_t operator()(seraph::Timestamp t) const {
+    return std::hash<int64_t>{}(t.millis());
+  }
+};
+
+#endif  // SERAPH_TEMPORAL_TIMESTAMP_H_

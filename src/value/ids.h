@@ -1,0 +1,54 @@
+// Strongly-typed node / relationship identifiers (the sets N and R of
+// Def. 3.1). Defined next to `Value` because values can reference graph
+// entities (bindings produced by MATCH).
+#ifndef SERAPH_VALUE_IDS_H_
+#define SERAPH_VALUE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace seraph {
+
+// Identifier of a node (vertex). Identity is global across the stream: the
+// union of graphs under UNA (Def. 5.4) merges nodes with equal ids.
+struct NodeId {
+  int64_t value = 0;
+
+  friend bool operator==(NodeId a, NodeId b) { return a.value == b.value; }
+  friend bool operator!=(NodeId a, NodeId b) { return a.value != b.value; }
+  friend bool operator<(NodeId a, NodeId b) { return a.value < b.value; }
+};
+
+// Identifier of a relationship (edge).
+struct RelId {
+  int64_t value = 0;
+
+  friend bool operator==(RelId a, RelId b) { return a.value == b.value; }
+  friend bool operator!=(RelId a, RelId b) { return a.value != b.value; }
+  friend bool operator<(RelId a, RelId b) { return a.value < b.value; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << "n" << id.value;
+}
+inline std::ostream& operator<<(std::ostream& os, RelId id) {
+  return os << "r" << id.value;
+}
+
+}  // namespace seraph
+
+template <>
+struct std::hash<seraph::NodeId> {
+  size_t operator()(seraph::NodeId id) const {
+    return std::hash<int64_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<seraph::RelId> {
+  size_t operator()(seraph::RelId id) const {
+    return std::hash<int64_t>{}(~id.value);
+  }
+};
+
+#endif  // SERAPH_VALUE_IDS_H_

@@ -1,0 +1,156 @@
+// The Cypher value domain V (Section 3.1): null, booleans, integers,
+// floats, strings, lists, maps, temporal values, and references to graph
+// entities (nodes, relationships, paths).
+//
+// `Value` is an immutable-ish value type with deep copy semantics. Strict
+// structural equality (`operator==`) treats null as equal to null — this is
+// the "equivalence" notion used for bag/table operations (DISTINCT, bag
+// difference, grouping). Cypher's *ternary* equality (where null = null is
+// null) lives in the expression evaluator, not here.
+#ifndef SERAPH_VALUE_VALUE_H_
+#define SERAPH_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "temporal/duration.h"
+#include "temporal/timestamp.h"
+#include "value/ids.h"
+
+namespace seraph {
+
+class Value;
+
+// An alternating node/relationship sequence bound to a path variable.
+// `nodes` has exactly `rels.size() + 1` entries.
+struct PathValue {
+  std::vector<NodeId> nodes;
+  std::vector<RelId> rels;
+
+  // Number of relationships (Cypher's length(p)).
+  int64_t length() const { return static_cast<int64_t>(rels.size()); }
+
+  friend bool operator==(const PathValue& a, const PathValue& b) {
+    return a.nodes == b.nodes && a.rels == b.rels;
+  }
+};
+
+// Discriminator for Value alternatives.
+enum class ValueKind {
+  kNull,
+  kBool,
+  kInt,
+  kFloat,
+  kString,
+  kList,
+  kMap,
+  kDateTime,
+  kDuration,
+  kNode,
+  kRelationship,
+  kPath,
+};
+
+// Returns a printable name such as "INTEGER" or "NODE".
+const char* ValueKindToString(ValueKind kind);
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Map = std::map<std::string, Value>;
+
+  // Constructs null.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Float(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+  static Value MakeList(List items) { return Value(Rep(std::move(items))); }
+  static Value MakeMap(Map entries) { return Value(Rep(std::move(entries))); }
+  static Value DateTime(Timestamp t) { return Value(Rep(t)); }
+  static Value Dur(Duration d) { return Value(Rep(d)); }
+  static Value Node(NodeId id) { return Value(Rep(id)); }
+  static Value Relationship(RelId id) { return Value(Rep(id)); }
+  static Value Path(PathValue p) {
+    return Value(Rep(std::make_shared<const PathValue>(std::move(p))));
+  }
+
+  ValueKind kind() const;
+
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_float() const { return kind() == ValueKind::kFloat; }
+  bool is_number() const { return is_int() || is_float(); }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_list() const { return kind() == ValueKind::kList; }
+  bool is_map() const { return kind() == ValueKind::kMap; }
+  bool is_datetime() const { return kind() == ValueKind::kDateTime; }
+  bool is_duration() const { return kind() == ValueKind::kDuration; }
+  bool is_node() const { return kind() == ValueKind::kNode; }
+  bool is_relationship() const { return kind() == ValueKind::kRelationship; }
+  bool is_path() const { return kind() == ValueKind::kPath; }
+
+  // Typed accessors; calling the wrong accessor is a programming error and
+  // aborts. Use kind() / is_*() to dispatch first.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsFloat() const;
+  // Numeric value widened to double (valid for kInt and kFloat).
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const List& AsList() const;
+  const Map& AsMap() const;
+  Timestamp AsDateTime() const;
+  Duration AsDuration() const;
+  NodeId AsNode() const;
+  RelId AsRelationship() const;
+  const PathValue& AsPath() const;
+
+  // Structural equality with null == null (see file comment). Int/float
+  // values comparing numerically equal are equal (1 == 1.0).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  // Total order for ORDER BY and deterministic table rendering, following
+  // Cypher orderability: lists < maps < entities < paths < strings < bools <
+  // numbers < temporals < null (null sorts last, numbers compare
+  // numerically across int/float).
+  static int Compare(const Value& a, const Value& b);
+
+  size_t Hash() const;
+
+  // Cypher-style literal rendering: strings quoted inside containers,
+  // unquoted at top level; lists as "[a, b]", maps as "{k: v}".
+  std::string ToString() const;
+
+ private:
+  using Rep =
+      std::variant<std::monostate, bool, int64_t, double, std::string, List,
+                   Map, Timestamp, Duration, NodeId, RelId,
+                   std::shared_ptr<const PathValue>>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace seraph
+
+template <>
+struct std::hash<seraph::Value> {
+  size_t operator()(const seraph::Value& v) const { return v.Hash(); }
+};
+
+#endif  // SERAPH_VALUE_VALUE_H_

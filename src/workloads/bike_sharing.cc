@@ -1,0 +1,250 @@
+#include "workloads/bike_sharing.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_union.h"
+
+namespace seraph {
+namespace workloads {
+
+namespace {
+
+Timestamp At(int hour, int minute) {
+  auto t = Timestamp::FromCivil(2022, 10, 14, hour, minute);
+  SERAPH_CHECK(t.ok());
+  return t.value();
+}
+
+// Station node payload.
+void AddStation(GraphBuilder* b, int64_t id) {
+  b->Node(id, {"Station"}, {{"id", Value::Int(id)}});
+}
+
+// Bike node payload; e-bikes carry both labels (see header).
+void AddBike(GraphBuilder* b, int64_t id, bool electric) {
+  if (electric) {
+    b->Node(id, {"Bike", "E-Bike"}, {{"id", Value::Int(id)}});
+  } else {
+    b->Node(id, {"Bike"}, {{"id", Value::Int(id)}});
+  }
+}
+
+Value::Map RentalProps(int64_t user_id, Timestamp val_time) {
+  return Value::Map{{"user_id", Value::Int(user_id)},
+                    {"val_time", Value::DateTime(val_time)}};
+}
+
+Value::Map ReturnProps(int64_t user_id, Timestamp val_time,
+                       int64_t duration_minutes) {
+  return Value::Map{{"user_id", Value::Int(user_id)},
+                    {"val_time", Value::DateTime(val_time)},
+                    {"duration", Value::Int(duration_minutes)}};
+}
+
+}  // namespace
+
+std::vector<Event> BuildRunningExampleStream() {
+  std::vector<Event> events;
+
+  // 14:45h — E-Bike 5 rented at station 1 by user 1234 at 14:40.
+  {
+    GraphBuilder b;
+    AddStation(&b, 1);
+    AddBike(&b, 5, /*electric=*/true);
+    b.Rel(1, 5, 1, "rentedAt", RentalProps(1234, At(14, 40)));
+    events.push_back(Event{std::move(b).Build(), At(14, 45)});
+  }
+  // 15:00h — E-Bike 5 returned at station 2 at 14:55 (15 min); bikes 6 and
+  // 8 rented at station 2 (users 1234 and 5678) at 14:58.
+  {
+    GraphBuilder b;
+    AddStation(&b, 2);
+    AddBike(&b, 5, true);
+    AddBike(&b, 6, false);
+    AddBike(&b, 8, false);
+    b.Rel(2, 5, 2, "returnedAt", ReturnProps(1234, At(14, 55), 15));
+    b.Rel(3, 6, 2, "rentedAt", RentalProps(1234, At(14, 58)));
+    b.Rel(4, 8, 2, "rentedAt", RentalProps(5678, At(14, 58)));
+    events.push_back(Event{std::move(b).Build(), At(15, 0)});
+  }
+  // 15:15h — bike 6 returned at station 3 at 15:13 (15 min).
+  {
+    GraphBuilder b;
+    AddStation(&b, 3);
+    AddBike(&b, 6, false);
+    b.Rel(5, 6, 3, "returnedAt", ReturnProps(1234, At(15, 13), 15));
+    events.push_back(Event{std::move(b).Build(), At(15, 15)});
+  }
+  // 15:20h — bike 8 returned at station 3 at 15:15 (17 min); E-Bike 7
+  // rented at station 3 by user 5678 at 15:18.
+  {
+    GraphBuilder b;
+    AddStation(&b, 3);
+    AddBike(&b, 8, false);
+    AddBike(&b, 7, true);
+    b.Rel(6, 8, 3, "returnedAt", ReturnProps(5678, At(15, 15), 17));
+    b.Rel(7, 7, 3, "rentedAt", RentalProps(5678, At(15, 18)));
+    events.push_back(Event{std::move(b).Build(), At(15, 20)});
+  }
+  // 15:40h — E-Bike 7 returned at station 4 at 15:35 (17 min).
+  {
+    GraphBuilder b;
+    AddStation(&b, 4);
+    AddBike(&b, 7, true);
+    b.Rel(8, 7, 4, "returnedAt", ReturnProps(5678, At(15, 35), 17));
+    events.push_back(Event{std::move(b).Build(), At(15, 40)});
+  }
+  return events;
+}
+
+PropertyGraph BuildRunningExampleMergedGraph() {
+  PropertyGraph merged;
+  for (const Event& event : BuildRunningExampleStream()) {
+    Status s = MergeInto(&merged, event.graph);
+    SERAPH_CHECK(s.ok()) << s.ToString();
+  }
+  return merged;
+}
+
+std::string RunningExampleCypherQuery() {
+  return R"(
+    WITH datetime() AS win_end, datetime() - duration('PT1H') AS win_start
+    MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+          q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+    WITH r, s, q, relationships(q) AS rels,
+         [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops,
+         win_start, win_end
+    WHERE win_start <= r.val_time AND r.val_time <= win_end
+      AND ALL(e IN rels WHERE
+            win_start <= e.val_time AND e.val_time <= win_end
+            AND e.user_id = r.user_id
+            AND e.val_time > r.val_time
+            AND (e.duration IS NULL OR e.duration < 20))
+    RETURN r.user_id, s.id, r.val_time, hops
+  )";
+}
+
+std::string RunningExampleSeraphQuery() {
+  return R"(
+    REGISTER QUERY student_trick STARTING AT 2022-10-14T14:45h
+    {
+      MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+            q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+      WITHIN PT1H
+      WITH r, s, q, relationships(q) AS rels,
+           [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops
+      WHERE ALL(e IN rels WHERE
+            e.user_id = r.user_id AND e.val_time > r.val_time AND
+            (e.duration IS NULL OR e.duration < 20))
+      EMIT r.user_id, s.id, r.val_time, hops
+      ON ENTERING EVERY PT5M
+    }
+  )";
+}
+
+std::vector<Event> GenerateBikeSharingStream(const BikeSharingConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<int> station_dist(1, config.num_stations);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Station node ids 1..S; bike ids S+1..S+B (every third bike electric).
+  const int64_t bike_base = config.num_stations;
+
+  // One rental/return action.
+  struct Action {
+    Timestamp time;
+    bool is_return;
+    int64_t user_id;
+    int64_t bike_id;
+    int64_t station_id;
+    Timestamp rental_time;   // For returns: the matching rental's start.
+    int64_t duration_min;    // For returns.
+  };
+  std::vector<Action> actions;
+
+  const int64_t period_ms = config.event_period.millis();
+  const Timestamp horizon =
+      config.start + Duration::FromMillis(period_ms * config.num_events);
+
+  std::uniform_int_distribution<int> honest_duration(10, 60);
+  std::uniform_int_distribution<int> trick_duration(12, 19);
+  std::uniform_int_distribution<int> trick_gap(1, 4);
+  std::uniform_int_distribution<int> trick_segments(2, 4);
+  std::uniform_int_distribution<int> idle_minutes(5, 90);
+  std::uniform_int_distribution<int> bike_pick(1, config.num_bikes);
+
+  for (int64_t user = 1; user <= config.num_users; ++user) {
+    bool fraud = unit(rng) < config.fraud_fraction;
+    Timestamp t = config.start +
+                  Duration::FromMinutes(idle_minutes(rng) % 30);
+    while (t < horizon) {
+      int64_t station = station_dist(rng);
+      int segments = fraud ? trick_segments(rng) : 1;
+      for (int s = 0; s < segments && t < horizon; ++s) {
+        int64_t bike = bike_base + bike_pick(rng);
+        int duration =
+            fraud ? trick_duration(rng) : honest_duration(rng);
+        Timestamp rental_time = t;
+        Timestamp return_time = t + Duration::FromMinutes(duration);
+        int64_t end_station = station_dist(rng);
+        actions.push_back(Action{rental_time, false, user, bike, station,
+                                 rental_time, 0});
+        if (return_time < horizon) {
+          actions.push_back(Action{return_time, true, user, bike,
+                                   end_station, rental_time, duration});
+        }
+        station = end_station;
+        t = return_time + Duration::FromMinutes(fraud ? trick_gap(rng) : 0);
+      }
+      t = t + Duration::FromMinutes(idle_minutes(rng));
+    }
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.time < b.time;
+                   });
+
+  // Bucket actions into batch events; each event graph contains the
+  // touched stations/bikes and the batch's rental/return relationships.
+  std::vector<Event> events;
+  int64_t rel_id = 0;
+  size_t next_action = 0;
+  for (int i = 1; i <= config.num_events; ++i) {
+    Timestamp batch_end =
+        config.start + Duration::FromMillis(period_ms * i);
+    GraphBuilder builder;
+    bool any = false;
+    while (next_action < actions.size() &&
+           actions[next_action].time <= batch_end) {
+      const Action& a = actions[next_action++];
+      AddStation(&builder, a.station_id);
+      AddBike(&builder, a.bike_id, a.bike_id % 3 == 0);
+      if (a.is_return) {
+        builder.Rel(++rel_id, a.bike_id, a.station_id, "returnedAt",
+                    ReturnProps(a.user_id, a.time, a.duration_min));
+      } else {
+        builder.Rel(++rel_id, a.bike_id, a.station_id, "rentedAt",
+                    RentalProps(a.user_id, a.time));
+      }
+      any = true;
+    }
+    if (any) {
+      events.push_back(Event{std::move(builder).Build(), batch_end});
+    }
+  }
+  return events;
+}
+
+Status AppendEvents(const std::vector<Event>& events,
+                    PropertyGraphStream* stream) {
+  for (const Event& event : events) {
+    SERAPH_RETURN_IF_ERROR(stream->Append(event.graph, event.timestamp));
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace seraph

@@ -1,0 +1,100 @@
+#include "workloads/network.h"
+
+#include <random>
+
+#include "graph/graph_builder.h"
+
+namespace seraph {
+namespace workloads {
+
+namespace {
+
+// Node-id layout within one tick's topology copy (each tick is a disjoint
+// copy so that per-tick route lengths remain observable inside the
+// window's union — see DESIGN.md §5).
+constexpr int64_t kTickStride = 1'000'000;
+constexpr int64_t kEgressId = 1;
+constexpr int64_t kRackBase = 100;
+constexpr int64_t kSwitchBase = 1'000;
+
+}  // namespace
+
+std::vector<Event> GenerateNetworkStream(const NetworkConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<Event> events;
+  for (int tick = 0; tick < config.num_ticks; ++tick) {
+    const int64_t offset = static_cast<int64_t>(tick) * kTickStride;
+    GraphBuilder b;
+    int64_t rel = offset;  // Relationship ids share the tick's id space.
+    auto switch_id = [&](int layer, int j) {
+      return offset + kSwitchBase * (layer + 1) + j;
+    };
+    // Egress router.
+    b.Node(offset + kEgressId, {"Router"},
+           {{"role", Value::String("egress")}, {"tick", Value::Int(tick)}});
+    // Switch fabric.
+    for (int layer = 0; layer < config.layers; ++layer) {
+      for (int j = 0; j < config.switches_per_layer; ++j) {
+        b.Node(switch_id(layer, j), {"Switch"},
+               {{"tick", Value::Int(tick)}});
+      }
+    }
+    // Inter-layer redundancy: each switch uplinks to two switches of the
+    // next layer; the last layer connects to the egress router.
+    for (int layer = 0; layer + 1 < config.layers; ++layer) {
+      for (int j = 0; j < config.switches_per_layer; ++j) {
+        b.Rel(++rel, switch_id(layer, j), switch_id(layer + 1, j),
+              "CONNECTS");
+        b.Rel(++rel, switch_id(layer, j),
+              switch_id(layer + 1, (j + 1) % config.switches_per_layer),
+              "CONNECTS");
+      }
+    }
+    for (int j = 0; j < config.switches_per_layer; ++j) {
+      b.Rel(++rel, switch_id(config.layers - 1, j), offset + kEgressId,
+            "CONNECTS");
+    }
+    // Racks: a primary uplink into layer 1 (absent when failed this tick)
+    // and an always-on backup link to the neighbouring rack.
+    for (int i = 0; i < config.num_racks; ++i) {
+      b.Node(offset + kRackBase + i, {"Rack"},
+             {{"rack_id", Value::Int(i)}, {"tick", Value::Int(tick)}});
+    }
+    for (int i = 0; i < config.num_racks; ++i) {
+      bool failed = unit(rng) < config.failure_probability;
+      if (!failed) {
+        b.Rel(++rel, offset + kRackBase + i,
+              switch_id(0, i % config.switches_per_layer), "CONNECTS");
+      }
+      b.Rel(++rel, offset + kRackBase + i,
+            offset + kRackBase + (i + 1) % config.num_racks, "CONNECTS");
+    }
+    Timestamp at = config.start +
+                   Duration::FromMillis(config.tick_period.millis() *
+                                        static_cast<int64_t>(tick + 1));
+    events.push_back(Event{std::move(b).Build(), at});
+  }
+  return events;
+}
+
+std::string NetworkMonitoringSeraphQuery(Timestamp starting_at) {
+  // μ = 5 hops, σ = 0.3 are the configuration-derived baseline the paper
+  // quotes; routes with z-score > 3 are anomalous.
+  return "REGISTER QUERY network_monitor STARTING AT '" +
+         starting_at.ToString() + "'\n" + R"(
+    {
+      MATCH p = shortestPath(
+          (r:Rack)-[:CONNECTS*..15]-(e:Router {role: 'egress',
+                                               tick: r.tick}))
+      WITHIN PT10M
+      WITH r, p, length(p) AS len
+      WHERE (len - 5.0) / 0.3 > 3.0
+      EMIT r.rack_id, r.tick, len
+      SNAPSHOT EVERY PT1M
+    }
+  )";
+}
+
+}  // namespace workloads
+}  // namespace seraph

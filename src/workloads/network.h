@@ -1,0 +1,47 @@
+// The network-monitoring use case (Section 4.1): data-center topology
+// snapshots streamed once per tick, with transient link failures that
+// lengthen rack→egress routes. The Seraph query flags routes whose length
+// has a z-score above 3 relative to the configured baseline (μ = 5 hops,
+// σ = 0.3 — the numbers the paper quotes).
+#ifndef SERAPH_WORKLOADS_NETWORK_H_
+#define SERAPH_WORKLOADS_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/bike_sharing.h"  // Event
+
+namespace seraph {
+namespace workloads {
+
+struct NetworkConfig {
+  int num_racks = 8;
+  // Switch layers between racks and the egress router; the fault-free
+  // rack→egress route is `layers + 1` hops.
+  int layers = 4;
+  int switches_per_layer = 4;
+  // Probability that a primary uplink is down in a given tick, forcing a
+  // detour over a (longer) backup path.
+  double failure_probability = 0.05;
+  int num_ticks = 30;
+  Duration tick_period = Duration::FromMinutes(1);
+  Timestamp start = Timestamp::FromMillis(0);
+  uint64_t seed = 7;
+};
+
+// Generates one full-topology property graph per tick (the paper:
+// "an arriving property graph represents the configuration of the entire
+// network"). Failed links are simply absent from that tick's graph;
+// detour links add extra hops.
+std::vector<Event> GenerateNetworkStream(const NetworkConfig& config);
+
+// Our reconstruction of Listing 2: continuously find rack→egress shortest
+// paths in the last 10 minutes and emit, with SNAPSHOT reporting, every
+// path whose z-score against the configured baseline exceeds 3.
+std::string NetworkMonitoringSeraphQuery(Timestamp starting_at);
+
+}  // namespace workloads
+}  // namespace seraph
+
+#endif  // SERAPH_WORKLOADS_NETWORK_H_

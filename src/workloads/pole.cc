@@ -1,0 +1,72 @@
+#include "workloads/pole.h"
+
+#include <random>
+
+#include "graph/graph_builder.h"
+
+namespace seraph {
+namespace workloads {
+
+namespace {
+constexpr int64_t kLocationBase = 10'000;
+constexpr int64_t kCrimeBase = 20'000;
+}  // namespace
+
+std::vector<Event> GeneratePoleStream(const PoleConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<int> person_dist(1, config.num_persons);
+  std::uniform_int_distribution<int> location_dist(1, config.num_locations);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int64_t> within_batch(
+      0, config.event_period.millis() - 1);
+
+  std::vector<Event> events;
+  int64_t rel_id = 0;
+  int64_t crime_id = 0;
+  for (int i = 1; i <= config.num_events; ++i) {
+    Timestamp batch_end =
+        config.start +
+        Duration::FromMillis(config.event_period.millis() * i);
+    Timestamp batch_start = batch_end - config.event_period;
+    GraphBuilder b;
+    for (int s = 0; s < config.sightings_per_event; ++s) {
+      int64_t person = person_dist(rng);
+      int64_t location = kLocationBase + location_dist(rng);
+      Timestamp seen = batch_start + Duration::FromMillis(within_batch(rng));
+      b.Node(person, {"Person"}, {{"person_id", Value::Int(person)}});
+      b.Node(location, {"Location"},
+             {{"location_id", Value::Int(location - kLocationBase)}});
+      b.Rel(++rel_id, person, location, "PRESENT_AT",
+            {{"time", Value::DateTime(seen)}});
+    }
+    if (unit(rng) < config.crime_probability) {
+      int64_t crime = kCrimeBase + (++crime_id);
+      int64_t location = kLocationBase + location_dist(rng);
+      Timestamp occurred =
+          batch_start + Duration::FromMillis(within_batch(rng));
+      b.Node(crime, {"Crime"}, {{"crime_id", Value::Int(crime_id)}});
+      b.Node(location, {"Location"},
+             {{"location_id", Value::Int(location - kLocationBase)}});
+      b.Rel(++rel_id, crime, location, "OCCURRED_AT",
+            {{"time", Value::DateTime(occurred)}});
+    }
+    events.push_back(Event{std::move(b).Build(), batch_end});
+  }
+  return events;
+}
+
+std::string CrimeInvestigationSeraphQuery(Timestamp starting_at) {
+  return "REGISTER QUERY crime_watch STARTING AT '" +
+         starting_at.ToString() + "'\n" + R"(
+    {
+      MATCH (p:Person)-[s:PRESENT_AT]->(l:Location)
+            <-[o:OCCURRED_AT]-(c:Crime)
+      WITHIN PT30M
+      EMIT p.person_id, c.crime_id, l.location_id, s.time
+      ON ENTERING EVERY PT5M
+    }
+  )";
+}
+
+}  // namespace workloads
+}  // namespace seraph

@@ -1,0 +1,40 @@
+// The crime-investigation use case (Section 4.2): a POLE
+// (Person-Object-Location-Event) graph streamed as sighting and crime
+// events; the continuous query surfaces persons seen at a crime scene
+// within the last 30 minutes.
+#ifndef SERAPH_WORKLOADS_POLE_H_
+#define SERAPH_WORKLOADS_POLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/bike_sharing.h"  // Event
+
+namespace seraph {
+namespace workloads {
+
+struct PoleConfig {
+  int num_persons = 50;
+  int num_locations = 10;
+  // Sightings per batch period (persons passing by locations).
+  int sightings_per_event = 20;
+  // Probability a batch period contains a crime event.
+  double crime_probability = 0.2;
+  int num_events = 24;
+  Duration event_period = Duration::FromMinutes(5);
+  Timestamp start = Timestamp::FromMillis(0);
+  uint64_t seed = 11;
+};
+
+std::vector<Event> GeneratePoleStream(const PoleConfig& config);
+
+// Our reconstruction of the Table-1 surveillance query: persons present at
+// a location where a crime occurred, within a 30-minute window, reported
+// incrementally (ON ENTERING) every 5 minutes.
+std::string CrimeInvestigationSeraphQuery(Timestamp starting_at);
+
+}  // namespace workloads
+}  // namespace seraph
+
+#endif  // SERAPH_WORKLOADS_POLE_H_

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace seraph {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status e = Status::ParseError("bad token");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), StatusCode::kParseError);
+  EXPECT_EQ(e.ToString(), "parse_error: bad token");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status PropagatesThrough() {
+  SERAPH_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(PropagatesThrough().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SERAPH_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd.
+}
+
+TEST(ResultTest, ConvertibleValueTypes) {
+  // unique_ptr<Derived> → Result<unique_ptr<Base>>.
+  struct Base {
+    virtual ~Base() = default;
+  };
+  struct Derived : Base {};
+  auto make = []() -> Result<std::unique_ptr<Base>> {
+    return std::make_unique<Derived>();
+  };
+  EXPECT_TRUE(make().ok());
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StripAndCase) {
+  EXPECT_EQ(StripWhitespace("  x \n"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_TRUE(EqualsIgnoreCase("MATCH", "match"));
+  EXPECT_FALSE(EqualsIgnoreCase("MATCH", "matches"));
+  EXPECT_EQ(AsciiUpper("abC"), "ABC");
+  EXPECT_TRUE(StartsWith("seraph", "ser"));
+  EXPECT_FALSE(StartsWith("se", "ser"));
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,181 @@
+// Continuous engine behaviour: registry, clock discipline, ET grid,
+// per-MATCH windows, RETURN-once mode, multi-query timelines.
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraph Item(int64_t id, int64_t kind) {
+  return GraphBuilder()
+      .Node(id, {kind == 0 ? "X" : "Y"},
+            {{"id", Value::Int(id)}, {"k", Value::Int(id % 3)}})
+      .Build();
+}
+
+std::string CountQuery(const char* name, const char* label,
+                       const char* within, const char* every,
+                       const char* policy = "SNAPSHOT") {
+  std::string q = "REGISTER QUERY ";
+  q += name;
+  q += " STARTING AT '1970-01-01T00:05' { MATCH (n:";
+  q += label;
+  q += ") WITHIN ";
+  q += within;
+  q += " EMIT n.id ";
+  q += policy;
+  q += " EVERY ";
+  q += every;
+  q += " }";
+  return q;
+}
+
+TEST(ContinuousEngineTest, RegistryLifecycle) {
+  ContinuousEngine engine;
+  ASSERT_TRUE(engine.RegisterText(CountQuery("a", "X", "PT5M", "PT5M")).ok());
+  EXPECT_EQ(engine.RegisterText(CountQuery("a", "X", "PT5M", "PT5M")).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(engine.RegisterText(CountQuery("b", "Y", "PT5M", "PT5M")).ok());
+  EXPECT_EQ(engine.QueryNames(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(engine.Unregister("a").ok());
+  EXPECT_EQ(engine.Unregister("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.QueryNames(), (std::vector<std::string>{"b"}));
+}
+
+TEST(ContinuousEngineTest, EvaluatesOnEtGrid) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(CountQuery("q", "X", "PT10M", "PT5M")).ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(6)).ok());
+  ASSERT_TRUE(engine.Ingest(Item(2, 0), T(12)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(21)).ok());
+  // ET = 5, 10, 15, 20.
+  EXPECT_EQ(sink.ResultsFor("q").size(), 4u);
+  EXPECT_TRUE(sink.ResultAt("q", T(5))->table.empty());
+  EXPECT_EQ(sink.ResultAt("q", T(10))->table.size(), 1u);   // Element @6.
+  EXPECT_EQ(sink.ResultAt("q", T(15))->table.size(), 2u);   // @6 and @12.
+  EXPECT_EQ(sink.ResultAt("q", T(20))->table.size(), 1u);   // @6 expired.
+}
+
+TEST(ContinuousEngineTest, ClockDiscipline) {
+  ContinuousEngine engine;
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(10)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(20)).ok());
+  // The clock cannot move backwards, and late elements are rejected.
+  EXPECT_EQ(engine.AdvanceTo(T(15)).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.Ingest(Item(2, 0), T(15)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(engine.Ingest(Item(2, 0), T(25)).ok());
+}
+
+TEST(ContinuousEngineTest, ReturnOnceEvaluatesExactlyOnce) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY once STARTING AT '1970-01-01T00:10'
+    { MATCH (n:X) WITHIN PT10M RETURN n.id })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(5)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(30)).ok());
+  EXPECT_EQ(sink.ResultsFor("once").size(), 1u);
+  EXPECT_EQ(sink.ResultAt("once", T(10))->table.size(), 1u);
+  // Advancing further does not re-evaluate.
+  ASSERT_TRUE(engine.AdvanceTo(T(60)).ok());
+  EXPECT_EQ(sink.ResultsFor("once").size(), 1u);
+}
+
+TEST(ContinuousEngineTest, PerMatchWindowWidths) {
+  // A two-MATCH query: X within 5 minutes, Y within 30 — a Y element stays
+  // joinable long after the X element that matched it expired.
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY join STARTING AT '1970-01-01T00:05'
+    {
+      MATCH (a:X) WITHIN PT5M
+      MATCH (b:Y {k: a.k}) WITHIN PT30M
+      EMIT a.id, b.id EVERY PT5M
+    })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(3, 1), T(2)).ok());   // Y, k = 0.
+  ASSERT_TRUE(engine.Ingest(Item(6, 0), T(12)).ok());  // X, k = 0.
+  ASSERT_TRUE(engine.AdvanceTo(T(30)).ok());
+  // At 15: X@12 in (10,15], Y@2 in (−15,15] → join (6, 3).
+  EXPECT_EQ(sink.ResultAt("join", T(15))->table.size(), 1u);
+  // At 20: X@12 expired from the 5-minute window → no rows.
+  EXPECT_TRUE(sink.ResultAt("join", T(20))->table.empty());
+}
+
+TEST(ContinuousEngineTest, MultiQueryChronologicalTimeline) {
+  ContinuousEngine engine;
+  struct OrderSink : EmitSink {
+    std::vector<std::pair<std::string, Timestamp>> calls;
+    void OnResult(const std::string& name, Timestamp t,
+                  const TimeAnnotatedTable&) override {
+      calls.emplace_back(name, t);
+    }
+  } sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(
+      engine.RegisterText(CountQuery("fast", "X", "PT5M", "PT5M")).ok());
+  ASSERT_TRUE(
+      engine.RegisterText(CountQuery("slow", "X", "PT10M", "PT10M")).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(20)).ok());
+  // Evaluations arrive in global time order.
+  for (size_t i = 1; i < sink.calls.size(); ++i) {
+    EXPECT_LE(sink.calls[i - 1].second, sink.calls[i].second);
+  }
+  // fast: 5,10,15,20 (4); slow: 5,15 (2).
+  EXPECT_EQ(sink.calls.size(), 6u);
+}
+
+TEST(ContinuousEngineTest, ParametersReachQueries) {
+  EngineOptions options;
+  options.parameters = {{"min_id", Value::Int(2)}};
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY p STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT10M WHERE n.id >= $min_id
+      EMIT n.id EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.Ingest(Item(2, 0), T(2)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(5)).ok());
+  EXPECT_EQ(sink.ResultAt("p", T(5))->table.size(), 1u);
+}
+
+TEST(ContinuousEngineTest, QueryErrorSurfacesFromAdvance) {
+  ContinuousEngine engine;
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY boom STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT5M EMIT n.id / 0 EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  Status s = engine.AdvanceTo(T(5));
+  EXPECT_EQ(s.code(), StatusCode::kEvaluationError);
+}
+
+TEST(ContinuousEngineTest, DrainProcessesToLastElement) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(CountQuery("q", "X", "PT5M", "PT5M")).ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(7)).ok());
+  ASSERT_TRUE(engine.Ingest(Item(2, 0), T(18)).ok());
+  ASSERT_TRUE(engine.Drain().ok());
+  // ET due by 18: 5, 10, 15.
+  EXPECT_EQ(sink.ResultsFor("q").size(), 3u);
+}
+
+}  // namespace
+}  // namespace seraph

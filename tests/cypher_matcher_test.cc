@@ -1,0 +1,247 @@
+// Pattern-matching semantics: match(π, G, u) of Section 3.2.
+#include <gtest/gtest.h>
+
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "graph/graph_builder.h"
+
+namespace seraph {
+namespace {
+
+// Runs a full query (the executor is a thin pipeline over the matcher, and
+// exercising it end-to-end keeps these tests at the semantics level).
+Table RunQuery(const PropertyGraph& graph, std::string_view query) {
+  auto parsed = ParseCypherQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*parsed, graph, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : Table();
+}
+
+PropertyGraph Triangle() {
+  // (1:A)-[1:R]->(2:B)-[2:R]->(3:C)-[3:S]->(1:A)
+  return GraphBuilder()
+      .Node(1, {"A"}, {{"name", Value::String("a")}})
+      .Node(2, {"B"}, {{"name", Value::String("b")}})
+      .Node(3, {"C"}, {{"name", Value::String("c")}})
+      .Rel(1, 1, 2, "R")
+      .Rel(2, 2, 3, "R")
+      .Rel(3, 3, 1, "S")
+      .Build();
+}
+
+TEST(MatcherTest, NodeByLabel) {
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (n:A) RETURN n").size(), 1u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (n) RETURN n").size(), 3u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (n:Zed) RETURN n").size(), 0u);
+}
+
+TEST(MatcherTest, NodeByProperty) {
+  Table t = RunQuery(Triangle(), "MATCH (n {name: 'b'}) RETURN n.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("n.name"), Value::String("b"));
+}
+
+TEST(MatcherTest, DirectedRelationships) {
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (a:A)-[r]->(b) RETURN b").size(), 1u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (a:A)<-[r]-(b) RETURN b").size(), 1u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (a:A)-[r]-(b) RETURN b").size(), 2u);
+}
+
+TEST(MatcherTest, RelationshipTypeFilter) {
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH ()-[r:R]->() RETURN r").size(), 2u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH ()-[r:S]->() RETURN r").size(), 1u);
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH ()-[r:R|S]->() RETURN r").size(), 3u);
+}
+
+TEST(MatcherTest, ChainJoinsOnSharedVariable) {
+  Table t = RunQuery(Triangle(),
+                "MATCH (a:A)-[:R]->(b)-[:R]->(c) RETURN c.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("c.name"), Value::String("c"));
+}
+
+TEST(MatcherTest, MultiplePatternsAreCrossJoinedWithRelUniqueness) {
+  // Two anonymous single-rel patterns: 3 × 3 pairs minus same-rel pairs.
+  Table t = RunQuery(Triangle(), "MATCH ()-[r1]->(), ()-[r2]->() RETURN r1, r2");
+  EXPECT_EQ(t.size(), 6u);  // 3 * 2: r1 ≠ r2 enforced.
+}
+
+TEST(MatcherTest, BoundVariableReusePinsNode) {
+  Table t = RunQuery(Triangle(),
+                "MATCH (a:A)-[:R]->(b) MATCH (b)-[:R]->(c) RETURN c.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("c.name"), Value::String("c"));
+}
+
+TEST(MatcherTest, RelationshipUniquenessWithinClauseOnly) {
+  // Within one MATCH the two rel patterns must bind distinct
+  // relationships; across MATCH clauses reuse is allowed (Cypher rule).
+  Table same_clause =
+      RunQuery(Triangle(), "MATCH (a)-[r1:S]->(b), (c)-[r2:S]->(d) RETURN r1");
+  EXPECT_EQ(same_clause.size(), 0u);
+  Table cross_clause = RunQuery(
+      Triangle(), "MATCH (a)-[r1:S]->(b) MATCH (c)-[r2:S]->(d) RETURN r1");
+  EXPECT_EQ(cross_clause.size(), 1u);
+}
+
+TEST(MatcherTest, SelfLoopUndirectedCountedOnce) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"N"})
+                        .Rel(1, 1, 1, "L")
+                        .Build();
+  EXPECT_EQ(RunQuery(g, "MATCH (a)-[r]-(b) RETURN r").size(), 1u);
+}
+
+TEST(MatcherTest, VariableLengthBasic) {
+  // Paths from A of lengths 1..3 over R|S (rel-unique): 1→2, 1→2→3,
+  // 1→2→3→1.
+  Table t = RunQuery(Triangle(), "MATCH (a:A)-[:R|S*1..3]->(x) RETURN x.name");
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(MatcherTest, VariableLengthMinBound) {
+  Table t = RunQuery(Triangle(), "MATCH (a:A)-[:R|S*3..]->(x) RETURN x.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("x.name"), Value::String("a"));
+}
+
+TEST(MatcherTest, VariableLengthBindsRelationshipList) {
+  Table t = RunQuery(Triangle(),
+                "MATCH (a:A)-[rs:R*2..2]->(x) RETURN size(rs) AS n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("n"), Value::Int(2));
+}
+
+TEST(MatcherTest, VariableLengthUndirected) {
+  // Undirected *2..2 from A: 1-2-3 (via r1,r2) and 1-3-2 (via r3,r2).
+  Table t = RunQuery(Triangle(), "MATCH (a:A)-[*2..2]-(x) RETURN x.name");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(MatcherTest, ZeroLengthVariableLength) {
+  Table t = RunQuery(Triangle(), "MATCH (a:A)-[*0..1]->(x) RETURN x.name");
+  // Length 0: x = a itself; length 1: x = b.
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(MatcherTest, PathVariableCapturesNodesAndRels) {
+  Table t = RunQuery(Triangle(),
+                "MATCH p = (a:A)-[:R*2..2]->(c) "
+                "RETURN length(p) AS len, "
+                "[n IN nodes(p) | n.name] AS names, "
+                "size(relationships(p)) AS m");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("len"), Value::Int(2));
+  EXPECT_EQ(t.rows()[0].GetOrNull("m"), Value::Int(2));
+  EXPECT_EQ(t.rows()[0].GetOrNull("names"),
+            Value::MakeList({Value::String("a"), Value::String("b"),
+                             Value::String("c")}));
+}
+
+TEST(MatcherTest, PropertyPatternMayReferenceBoundVariables) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"P"}, {{"tick", Value::Int(1)}})
+                        .Node(2, {"P"}, {{"tick", Value::Int(2)}})
+                        .Node(3, {"Q"}, {{"tick", Value::Int(1)}})
+                        .Build();
+  Table t = RunQuery(g, "MATCH (a:P) MATCH (b:Q {tick: a.tick}) RETURN a.tick");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("a.tick"), Value::Int(1));
+}
+
+// ---------------------------------------------------------------------------
+// shortestPath
+// ---------------------------------------------------------------------------
+
+PropertyGraph Grid() {
+  // 1 - 2 - 3 - 4 (chain) plus shortcut 1 - 5 - 4.
+  return GraphBuilder()
+      .Node(1, {"Src"})
+      .Node(2, {"Mid"})
+      .Node(3, {"Mid"})
+      .Node(4, {"Dst"})
+      .Node(5, {"Mid"})
+      .Rel(1, 1, 2, "E")
+      .Rel(2, 2, 3, "E")
+      .Rel(3, 3, 4, "E")
+      .Rel(4, 1, 5, "E")
+      .Rel(5, 5, 4, "E")
+      .Build();
+}
+
+TEST(MatcherTest, ShortestPathFindsMinimalLength) {
+  Table t = RunQuery(Grid(),
+                "MATCH p = shortestPath((a:Src)-[:E*..10]-(b:Dst)) "
+                "RETURN length(p) AS len");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("len"), Value::Int(2));
+}
+
+TEST(MatcherTest, AllShortestPathsEnumeratesTies) {
+  // Make both routes length 3: drop the shortcut, add 1-6-7-4.
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"Src"})
+                        .Node(2, {"M"})
+                        .Node(3, {"M"})
+                        .Node(4, {"Dst"})
+                        .Node(6, {"M"})
+                        .Node(7, {"M"})
+                        .Rel(1, 1, 2, "E")
+                        .Rel(2, 2, 3, "E")
+                        .Rel(3, 3, 4, "E")
+                        .Rel(4, 1, 6, "E")
+                        .Rel(5, 6, 7, "E")
+                        .Rel(6, 7, 4, "E")
+                        .Build();
+  Table all = RunQuery(g,
+                  "MATCH p = allShortestPaths((a:Src)-[:E*..10]-(b:Dst)) "
+                  "RETURN length(p) AS len");
+  EXPECT_EQ(all.size(), 2u);
+  Table one = RunQuery(g,
+                  "MATCH p = shortestPath((a:Src)-[:E*..10]-(b:Dst)) "
+                  "RETURN length(p) AS len");
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(MatcherTest, ShortestPathRespectsMaxHops) {
+  Table t = RunQuery(Grid(),
+                "MATCH p = shortestPath((a:Src)-[:E*..1]-(b:Dst)) "
+                "RETURN p");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(MatcherTest, ShortestPathNoRouteNoMatch) {
+  PropertyGraph g = GraphBuilder().Node(1, {"Src"}).Node(2, {"Dst"}).Build();
+  Table t = RunQuery(g,
+                "MATCH p = shortestPath((a:Src)-[*..5]-(b:Dst)) RETURN p");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OPTIONAL MATCH
+// ---------------------------------------------------------------------------
+
+TEST(MatcherTest, OptionalMatchPadsWithNulls) {
+  Table t = RunQuery(Triangle(),
+                "MATCH (n) OPTIONAL MATCH (n)-[:S]->(m) "
+                "RETURN n.name, m.name");
+  EXPECT_EQ(t.size(), 3u);
+  int nulls = 0;
+  for (const Record& row : t.rows()) {
+    if (row.GetOrNull("m.name").is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2);  // Only C has an outgoing S edge.
+}
+
+TEST(MatcherTest, OptionalMatchWhereParticipates) {
+  Table t = RunQuery(Triangle(),
+                "MATCH (n:A) OPTIONAL MATCH (n)-[r]->(m) WHERE m.name = 'z' "
+                "RETURN n.name, m.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.rows()[0].GetOrNull("m.name").is_null());
+}
+
+}  // namespace
+}  // namespace seraph

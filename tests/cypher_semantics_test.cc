@@ -1,0 +1,231 @@
+// Clause-pipeline semantics (Section 3.2 / Fig. 7): WITH, UNWIND,
+// aggregation, DISTINCT, ORDER BY / SKIP / LIMIT, UNION.
+#include <gtest/gtest.h>
+
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "graph/graph_builder.h"
+
+namespace seraph {
+namespace {
+
+Table RunQuery(const PropertyGraph& graph, std::string_view query) {
+  auto parsed = ParseCypherQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*parsed, graph, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : Table();
+}
+
+PropertyGraph People() {
+  return GraphBuilder()
+      .Node(1, {"Person"},
+            {{"name", Value::String("ann")}, {"age", Value::Int(30)},
+             {"city", Value::String("rome")}})
+      .Node(2, {"Person"},
+            {{"name", Value::String("bob")}, {"age", Value::Int(20)},
+             {"city", Value::String("rome")}})
+      .Node(3, {"Person"},
+            {{"name", Value::String("cat")}, {"age", Value::Int(40)},
+             {"city", Value::String("lyon")}})
+      .Node(4, {"Person"},
+            {{"name", Value::String("dan")}, {"age", Value::Int(20)},
+             {"city", Value::String("lyon")}})
+      .Rel(1, 1, 2, "KNOWS")
+      .Rel(2, 1, 3, "KNOWS")
+      .Rel(3, 3, 4, "KNOWS")
+      .Build();
+}
+
+TEST(SemanticsTest, EvaluationStartsFromUnitTable) {
+  // A query with no MATCH evaluates its projection once.
+  Table t = RunQuery(PropertyGraph(), "RETURN 1 + 1 AS two");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("two"), Value::Int(2));
+}
+
+TEST(SemanticsTest, WhereFiltersTernary) {
+  // n.missing > 0 evaluates to null → row dropped, not an error.
+  Table t = RunQuery(People(), "MATCH (n:Person) WHERE n.missing > 0 RETURN n");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SemanticsTest, WithProjectsAndDropsFields) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) WITH n.age AS age WHERE age < 25 "
+                "RETURN age");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.fields(), (std::set<std::string>{"age"}));
+}
+
+TEST(SemanticsTest, ReferencingDroppedFieldIsError) {
+  auto parsed = ParseCypherQuery(
+      "MATCH (n:Person) WITH n.age AS age RETURN n.name");
+  ASSERT_TRUE(parsed.ok());
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*parsed, People(), options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEvaluationError);
+}
+
+TEST(SemanticsTest, UnwindExpandsLists) {
+  Table t = RunQuery(PropertyGraph(), "UNWIND [1, 2, 3] AS x RETURN x * 2 AS y");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.rows()[2].GetOrNull("y"), Value::Int(6));
+}
+
+TEST(SemanticsTest, UnwindNullAndEmptyProduceNoRows) {
+  EXPECT_EQ(RunQuery(PropertyGraph(), "UNWIND [] AS x RETURN x").size(), 0u);
+  EXPECT_EQ(RunQuery(PropertyGraph(), "UNWIND null AS x RETURN x").size(), 0u);
+}
+
+TEST(SemanticsTest, CountStarAndGrouping) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) RETURN n.city AS city, count(*) AS c "
+                "ORDER BY city");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("city"), Value::String("lyon"));
+  EXPECT_EQ(t.rows()[0].GetOrNull("c"), Value::Int(2));
+  EXPECT_EQ(t.rows()[1].GetOrNull("city"), Value::String("rome"));
+  EXPECT_EQ(t.rows()[1].GetOrNull("c"), Value::Int(2));
+}
+
+TEST(SemanticsTest, AggregatesIgnoreNulls) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) RETURN count(n.missing) AS c, "
+                "sum(n.age) AS s, avg(n.age) AS a, min(n.age) AS lo, "
+                "max(n.age) AS hi");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("c"), Value::Int(0));
+  EXPECT_EQ(t.rows()[0].GetOrNull("s"), Value::Int(110));
+  EXPECT_EQ(t.rows()[0].GetOrNull("a"), Value::Float(27.5));
+  EXPECT_EQ(t.rows()[0].GetOrNull("lo"), Value::Int(20));
+  EXPECT_EQ(t.rows()[0].GetOrNull("hi"), Value::Int(40));
+}
+
+TEST(SemanticsTest, CollectAndDistinctAggregate) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) "
+                "RETURN collect(n.age) AS ages, "
+                "count(DISTINCT n.age) AS distinct_ages");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("ages").AsList().size(), 4u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("distinct_ages"), Value::Int(3));
+}
+
+TEST(SemanticsTest, AggregationOverEmptyInput) {
+  Table t = RunQuery(People(), "MATCH (n:Ghost) RETURN count(*) AS c");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("c"), Value::Int(0));
+  // With grouping keys, an empty input yields no groups.
+  Table grouped =
+      RunQuery(People(), "MATCH (n:Ghost) RETURN n.city AS city, count(*) AS c");
+  EXPECT_EQ(grouped.size(), 0u);
+}
+
+TEST(SemanticsTest, StDevAndPercentiles) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) RETURN stDev(n.age) AS sd, "
+                "stDevP(n.age) AS sdp, "
+                "percentileCont(n.age, 0.5) AS med, "
+                "percentileDisc(n.age, 0.5) AS medd");
+  ASSERT_EQ(t.size(), 1u);
+  // ages = 20, 20, 30, 40; mean 27.5.
+  EXPECT_NEAR(t.rows()[0].GetOrNull("sd").AsFloat(), 9.574271, 1e-5);
+  EXPECT_NEAR(t.rows()[0].GetOrNull("sdp").AsFloat(), 8.291562, 1e-5);
+  EXPECT_DOUBLE_EQ(t.rows()[0].GetOrNull("med").AsFloat(), 25.0);
+  EXPECT_DOUBLE_EQ(t.rows()[0].GetOrNull("medd").AsFloat(), 20.0);
+}
+
+TEST(SemanticsTest, AggregationMixedWithExpression) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) RETURN n.city AS city, "
+                "avg(n.age) * 2 AS double_avg ORDER BY city");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("double_avg"), Value::Float(60.0));
+}
+
+TEST(SemanticsTest, WithAggregationThenMatch) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) WITH max(n.age) AS top "
+                "MATCH (m:Person) WHERE m.age = top RETURN m.name");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("m.name"), Value::String("cat"));
+}
+
+TEST(SemanticsTest, DistinctProjection) {
+  Table t = RunQuery(People(), "MATCH (n:Person) RETURN DISTINCT n.city AS c");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SemanticsTest, OrderBySkipLimit) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) RETURN n.name AS name "
+                "ORDER BY n.age DESC, name SKIP 1 LIMIT 2");
+  ASSERT_EQ(t.size(), 2u);
+  // Order by age desc: cat(40), ann(30), bob(20), dan(20); skip cat.
+  EXPECT_EQ(t.rows()[0].GetOrNull("name"), Value::String("ann"));
+  EXPECT_EQ(t.rows()[1].GetOrNull("name"), Value::String("bob"));
+}
+
+TEST(SemanticsTest, OrderByNullsLast) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) "
+                "RETURN CASE WHEN n.age > 25 THEN n.age ELSE null END AS v "
+                "ORDER BY v");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.rows()[0].GetOrNull("v"), Value::Int(30));
+  EXPECT_TRUE(t.rows()[3].GetOrNull("v").is_null());
+}
+
+TEST(SemanticsTest, UnionDistinctAndAll) {
+  Table distinct = RunQuery(People(),
+                       "MATCH (n:Person) RETURN n.city AS c UNION "
+                       "MATCH (n:Person) RETURN n.city AS c");
+  EXPECT_EQ(distinct.size(), 2u);
+  Table all = RunQuery(People(),
+                  "MATCH (n:Person) RETURN n.city AS c UNION ALL "
+                  "MATCH (n:Person) RETURN n.city AS c");
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(SemanticsTest, UnionColumnMismatchIsError) {
+  auto parsed = ParseCypherQuery(
+      "MATCH (n) RETURN n.a AS x UNION MATCH (n) RETURN n.a AS y");
+  ASSERT_TRUE(parsed.ok());
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*parsed, People(), options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(SemanticsTest, ReturnStarKeepsAllFields) {
+  Table t = RunQuery(People(),
+                "MATCH (n:Person) WHERE n.name = 'ann' "
+                "WITH n.name AS name, n.age AS age RETURN *");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.fields(), (std::set<std::string>{"age", "name"}));
+}
+
+TEST(SemanticsTest, MatchPreservesInputMultiplicity) {
+  // Bag semantics: each input row multiplies with each match.
+  Table t = RunQuery(People(),
+                "UNWIND [1, 2] AS i MATCH (n:Person {city: 'rome'}) "
+                "RETURN i, n.name");
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(SemanticsTest, DatetimeIsEvaluationTime) {
+  auto parsed = ParseCypherQuery("RETURN datetime() AS now");
+  ASSERT_TRUE(parsed.ok());
+  ExecutionOptions options;
+  options.now = Timestamp::Parse("2022-10-14T15:40").value();
+  auto result = ExecuteQueryOnGraph(*parsed, PropertyGraph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows()[0].GetOrNull("now"),
+            Value::DateTime(options.now));
+}
+
+}  // namespace
+}  // namespace seraph

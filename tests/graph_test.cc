@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/property_graph.h"
+
+namespace seraph {
+namespace {
+
+PropertyGraph SmallGraph() {
+  return GraphBuilder()
+      .Node(1, {"Station"}, {{"id", Value::Int(1)}})
+      .Node(2, {"Station"}, {{"id", Value::Int(2)}})
+      .Node(5, {"Bike", "E-Bike"}, {{"id", Value::Int(5)}})
+      .Rel(1, 5, 1, "rentedAt", {{"user_id", Value::Int(1234)}})
+      .Rel(2, 5, 2, "returnedAt", {{"user_id", Value::Int(1234)}})
+      .Build();
+}
+
+TEST(PropertyGraphTest, BasicAccessors) {
+  PropertyGraph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_relationships(), 2u);
+  ASSERT_NE(g.node(NodeId{5}), nullptr);
+  EXPECT_TRUE(g.node(NodeId{5})->labels.contains("E-Bike"));
+  ASSERT_NE(g.relationship(RelId{1}), nullptr);
+  EXPECT_EQ(g.relationship(RelId{1})->type, "rentedAt");
+  EXPECT_EQ(g.relationship(RelId{1})->src, (NodeId{5}));
+  EXPECT_EQ(g.relationship(RelId{1})->trg, (NodeId{1}));
+  EXPECT_EQ(g.node(NodeId{99}), nullptr);
+}
+
+TEST(PropertyGraphTest, AddNodeRejectsDuplicates) {
+  PropertyGraph g;
+  EXPECT_TRUE(g.AddNode(NodeId{1}, NodeData{}).ok());
+  Status s = g.AddNode(NodeId{1}, NodeData{});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PropertyGraphTest, AddRelationshipRequiresEndpoints) {
+  PropertyGraph g;
+  ASSERT_TRUE(g.AddNode(NodeId{1}, NodeData{}).ok());
+  RelData rel;
+  rel.type = "KNOWS";
+  rel.src = NodeId{1};
+  rel.trg = NodeId{2};
+  EXPECT_EQ(g.AddRelationship(RelId{1}, rel).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PropertyGraphTest, AdjacencyIndexes) {
+  PropertyGraph g = SmallGraph();
+  EXPECT_EQ(g.OutRelationships(NodeId{5}).size(), 2u);
+  EXPECT_EQ(g.InRelationships(NodeId{1}).size(), 1u);
+  EXPECT_EQ(g.InRelationships(NodeId{2}).size(), 1u);
+  EXPECT_TRUE(g.OutRelationships(NodeId{1}).empty());
+  EXPECT_TRUE(g.OutRelationships(NodeId{404}).empty());
+}
+
+TEST(PropertyGraphTest, LabelAndTypeIndexes) {
+  PropertyGraph g = SmallGraph();
+  EXPECT_EQ(g.NodesWithLabel("Station").size(), 2u);
+  EXPECT_EQ(g.NodesWithLabel("Bike").size(), 1u);
+  EXPECT_EQ(g.NodesWithLabel("E-Bike").size(), 1u);
+  EXPECT_TRUE(g.NodesWithLabel("Nope").empty());
+  EXPECT_EQ(g.RelationshipsWithType("rentedAt").size(), 1u);
+  EXPECT_EQ(g.RelationshipsWithType("returnedAt").size(), 1u);
+}
+
+TEST(PropertyGraphTest, MergeNodeUnionsLabelsAndOverwritesProps) {
+  PropertyGraph g;
+  NodeData a;
+  a.labels = {"Bike"};
+  a.properties = {{"id", Value::Int(5)}, {"color", Value::String("red")}};
+  g.MergeNode(NodeId{5}, a);
+  NodeData b;
+  b.labels = {"E-Bike"};
+  b.properties = {{"color", Value::String("blue")}};
+  g.MergeNode(NodeId{5}, b);
+  const NodeData* merged = g.node(NodeId{5});
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->labels, (std::set<std::string>{"Bike", "E-Bike"}));
+  EXPECT_EQ(merged->properties.at("color"), Value::String("blue"));
+  EXPECT_EQ(merged->properties.at("id"), Value::Int(5));
+  // Label index reflects the merged label.
+  EXPECT_EQ(g.NodesWithLabel("E-Bike").size(), 1u);
+}
+
+TEST(PropertyGraphTest, MergeRelationshipConflictDetected) {
+  PropertyGraph g = SmallGraph();
+  RelData conflicting;
+  conflicting.type = "rentedAt";
+  conflicting.src = NodeId{5};
+  conflicting.trg = NodeId{2};  // Original r1 targets node 1.
+  Status s = g.MergeRelationship(RelId{1}, conflicting);
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+}
+
+TEST(PropertyGraphTest, RemoveNodeCascadesToRelationships) {
+  PropertyGraph g = SmallGraph();
+  g.RemoveNode(NodeId{5});
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_relationships(), 0u);
+  EXPECT_TRUE(g.InRelationships(NodeId{1}).empty());
+}
+
+TEST(PropertyGraphTest, RemoveRelationshipUpdatesIndexes) {
+  PropertyGraph g = SmallGraph();
+  g.RemoveRelationship(RelId{1});
+  EXPECT_EQ(g.num_relationships(), 1u);
+  EXPECT_TRUE(g.RelationshipsWithType("rentedAt").empty());
+  EXPECT_TRUE(g.InRelationships(NodeId{1}).empty());
+  EXPECT_EQ(g.OutRelationships(NodeId{5}).size(), 1u);
+}
+
+TEST(PropertyGraphTest, SetNodeDataReplacesPayloadKeepsAdjacency) {
+  PropertyGraph g = SmallGraph();
+  NodeData replacement;
+  replacement.labels = {"Scooter"};
+  g.SetNodeData(NodeId{5}, replacement);
+  EXPECT_TRUE(g.NodesWithLabel("Bike").empty());
+  EXPECT_EQ(g.NodesWithLabel("Scooter").size(), 1u);
+  EXPECT_EQ(g.OutRelationships(NodeId{5}).size(), 2u);
+}
+
+TEST(PropertyGraphTest, PropertyLookupReturnsNullWhenAbsent) {
+  PropertyGraph g = SmallGraph();
+  EXPECT_EQ(g.NodeProperty(NodeId{1}, "id"), Value::Int(1));
+  EXPECT_TRUE(g.NodeProperty(NodeId{1}, "missing").is_null());
+  EXPECT_TRUE(g.NodeProperty(NodeId{404}, "id").is_null());
+  EXPECT_EQ(g.RelationshipProperty(RelId{1}, "user_id"), Value::Int(1234));
+  EXPECT_TRUE(g.RelationshipProperty(RelId{404}, "user_id").is_null());
+}
+
+TEST(PropertyGraphTest, NodeIdsSorted) {
+  PropertyGraph g = SmallGraph();
+  std::vector<NodeId> ids = g.NodeIds();
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,173 @@
+// Union algebra tests (Def. 5.4) including the Figure-2 golden check and
+// property-style sweeps for idempotence / commutativity / associativity of
+// the strict union on consistent operands.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_union.h"
+#include "workloads/bike_sharing.h"
+
+namespace seraph {
+namespace {
+
+PropertyGraph G1() {
+  return GraphBuilder()
+      .Node(1, {"A"}, {{"x", Value::Int(1)}})
+      .Node(2, {"B"})
+      .Rel(1, 1, 2, "R")
+      .Build();
+}
+
+PropertyGraph G2() {
+  return GraphBuilder()
+      .Node(2, {"B"})
+      .Node(3, {"C"})
+      .Rel(2, 2, 3, "R")
+      .Build();
+}
+
+TEST(GraphUnionTest, StrictUnionDisjointAndOverlapping) {
+  auto u = StrictUnion(G1(), G2());
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->num_nodes(), 3u);
+  EXPECT_EQ(u->num_relationships(), 2u);
+}
+
+TEST(GraphUnionTest, StrictUnionDetectsPropertyConflict) {
+  PropertyGraph a = GraphBuilder().Node(1, {"A"}, {{"x", Value::Int(1)}})
+                        .Build();
+  PropertyGraph b = GraphBuilder().Node(1, {"A"}, {{"x", Value::Int(2)}})
+                        .Build();
+  EXPECT_EQ(StrictUnion(a, b).status().code(), StatusCode::kInconsistent);
+  EXPECT_FALSE(AreConsistent(a, b));
+}
+
+TEST(GraphUnionTest, StrictUnionDetectsLabelConflict) {
+  PropertyGraph a = GraphBuilder().Node(1, {"A"}).Build();
+  PropertyGraph b = GraphBuilder().Node(1, {"B"}).Build();
+  EXPECT_EQ(StrictUnion(a, b).status().code(), StatusCode::kInconsistent);
+}
+
+TEST(GraphUnionTest, StrictUnionDetectsEndpointConflict) {
+  PropertyGraph a = GraphBuilder().Node(1, {"A"}).Node(2, {"A"})
+                        .Rel(1, 1, 2, "R").Build();
+  PropertyGraph b = GraphBuilder().Node(1, {"A"}).Node(2, {"A"})
+                        .Rel(1, 2, 1, "R").Build();
+  EXPECT_EQ(StrictUnion(a, b).status().code(), StatusCode::kInconsistent);
+}
+
+TEST(GraphUnionTest, MergeUnionResolvesPropertyConflictNewerWins) {
+  PropertyGraph a = GraphBuilder().Node(1, {"A"}, {{"x", Value::Int(1)}})
+                        .Build();
+  PropertyGraph b = GraphBuilder().Node(1, {"A"}, {{"x", Value::Int(2)}})
+                        .Build();
+  auto u = MergeUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->node(NodeId{1})->properties.at("x"), Value::Int(2));
+}
+
+TEST(GraphUnionTest, UnionWithEmptyIsIdentity) {
+  PropertyGraph empty;
+  auto u1 = StrictUnion(G1(), empty);
+  auto u2 = StrictUnion(empty, G1());
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  EXPECT_EQ(*u1, G1());
+  EXPECT_EQ(*u2, G1());
+}
+
+TEST(GraphUnionTest, StrictUnionIdempotent) {
+  auto u = StrictUnion(G1(), G1());
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, G1());
+}
+
+TEST(GraphUnionTest, StrictUnionCommutative) {
+  auto ab = StrictUnion(G1(), G2());
+  auto ba = StrictUnion(G2(), G1());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(*ab, *ba);
+}
+
+// Property-style sweep: random consistent graph fragments obey
+// associativity and commutativity under strict union.
+class GraphUnionPropertyTest : public ::testing::TestWithParam<int> {};
+
+PropertyGraph RandomFragment(std::mt19937_64* rng) {
+  // Fragments draw from a shared universe of node payloads so overlaps are
+  // always consistent.
+  std::uniform_int_distribution<int> node_count(1, 8);
+  std::uniform_int_distribution<int> id_dist(1, 12);
+  PropertyGraph g;
+  int n = node_count(*rng);
+  for (int i = 0; i < n; ++i) {
+    int64_t id = id_dist(*rng);
+    NodeData data;
+    data.labels = {id % 2 == 0 ? "Even" : "Odd"};
+    data.properties = {{"id", Value::Int(id)}};
+    g.MergeNode(NodeId{id}, data);
+  }
+  // Deterministic relationship between consecutive present nodes: rel id
+  // derived from endpoints so overlapping fragments agree.
+  std::vector<NodeId> ids = g.NodeIds();
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    RelData rel;
+    rel.type = "NEXT";
+    rel.src = ids[i];
+    rel.trg = ids[i + 1];
+    int64_t rid = ids[i].value * 100 + ids[i + 1].value;
+    Status s = g.MergeRelationship(RelId{rid}, rel);
+    EXPECT_TRUE(s.ok());
+  }
+  return g;
+}
+
+TEST_P(GraphUnionPropertyTest, AssociativeAndCommutative) {
+  std::mt19937_64 rng(GetParam());
+  PropertyGraph a = RandomFragment(&rng);
+  PropertyGraph b = RandomFragment(&rng);
+  PropertyGraph c = RandomFragment(&rng);
+  auto ab = StrictUnion(a, b);
+  ASSERT_TRUE(ab.ok()) << ab.status();
+  auto bc = StrictUnion(b, c);
+  ASSERT_TRUE(bc.ok()) << bc.status();
+  auto ab_c = StrictUnion(*ab, c);
+  auto a_bc = StrictUnion(a, *bc);
+  ASSERT_TRUE(ab_c.ok());
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_EQ(*ab_c, *a_bc);
+  auto ba = StrictUnion(b, a);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(*ab, *ba);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphUnionPropertyTest,
+                         ::testing::Range(0, 25));
+
+// Figure 2: merging the five Figure-1 events yields 8 nodes (4 stations,
+// 4 bikes) and 8 relationships (4 rentals, 4 returns).
+TEST(GraphUnionTest, Figure2MergedGraph) {
+  PropertyGraph merged = workloads::BuildRunningExampleMergedGraph();
+  EXPECT_EQ(merged.num_nodes(), 8u);
+  EXPECT_EQ(merged.num_relationships(), 8u);
+  EXPECT_EQ(merged.NodesWithLabel("Station").size(), 4u);
+  EXPECT_EQ(merged.NodesWithLabel("Bike").size(), 4u);
+  EXPECT_EQ(merged.NodesWithLabel("E-Bike").size(), 2u);
+  EXPECT_EQ(merged.RelationshipsWithType("rentedAt").size(), 4u);
+  EXPECT_EQ(merged.RelationshipsWithType("returnedAt").size(), 4u);
+  // The five events are pairwise consistent, so strict union agrees with
+  // ingestion merge.
+  PropertyGraph strict;
+  for (const auto& event : workloads::BuildRunningExampleStream()) {
+    auto u = StrictUnion(strict, event.graph);
+    ASSERT_TRUE(u.ok()) << u.status();
+    strict = std::move(u).value();
+  }
+  EXPECT_EQ(strict, merged);
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,209 @@
+// Text serialization round-trips (io/graph_text.h), the reorder buffer,
+// and exists() pattern predicates.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "graph/graph_builder.h"
+#include "io/graph_text.h"
+#include "stream/reorder_buffer.h"
+#include "workloads/bike_sharing.h"
+
+namespace seraph {
+namespace {
+
+TEST(GraphTextTest, ValueRoundTrips) {
+  std::vector<Value> values = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Bool(false),
+      Value::Int(-42),
+      Value::Float(1.5),
+      Value::String("plain"),
+      Value::String("with|pipe=eq,comma%pct\nnewline"),
+      Value::DateTime(Timestamp::Parse("2022-10-14T14:45").value()),
+      Value::Dur(Duration::FromMinutes(90)),
+  };
+  for (const Value& v : values) {
+    auto round = io::DecodeValue(io::EncodeValue(v));
+    ASSERT_TRUE(round.ok()) << v.ToString() << ": " << round.status();
+    EXPECT_EQ(*round, v) << v.ToString();
+  }
+}
+
+TEST(GraphTextTest, DecodeValueErrors) {
+  EXPECT_FALSE(io::DecodeValue("").ok());
+  EXPECT_FALSE(io::DecodeValue("x:1").ok());
+  EXPECT_FALSE(io::DecodeValue("i:abc").ok());
+  EXPECT_FALSE(io::DecodeValue("b:maybe").ok());
+  EXPECT_FALSE(io::DecodeValue("s:bad%escape%2").ok());
+}
+
+TEST(GraphTextTest, GraphRoundTrips) {
+  PropertyGraph g = workloads::BuildRunningExampleMergedGraph();
+  auto round = io::DecodeGraph(io::EncodeGraph(g));
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(*round, g);
+}
+
+TEST(GraphTextTest, DecodeGraphSkipsCommentsAndBlankLines) {
+  auto g = io::DecodeGraph(
+      "# a comment\n\nnode|1|A|x=i:1\n  \nnode|2|B\nrel|1|E|1|2\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(g->num_relationships(), 1u);
+  EXPECT_EQ(g->NodeProperty(NodeId{1}, "x"), Value::Int(1));
+}
+
+TEST(GraphTextTest, DecodeGraphErrors) {
+  EXPECT_FALSE(io::DecodeGraph("bogus|1").ok());
+  EXPECT_FALSE(io::DecodeGraph("node|1").ok());          // Missing labels.
+  EXPECT_FALSE(io::DecodeGraph("rel|1|T|1").ok());       // Missing trg.
+  EXPECT_FALSE(io::DecodeGraph("node|1|A|broken").ok()); // Bad property.
+}
+
+TEST(GraphTextTest, EventLogRoundTrips) {
+  std::vector<StreamElement> events;
+  for (const auto& event : workloads::BuildRunningExampleStream()) {
+    events.push_back(StreamElement{
+        std::make_shared<const PropertyGraph>(event.graph),
+        event.timestamp});
+  }
+  std::ostringstream os;
+  io::WriteEventLog(events, &os);
+  std::istringstream is(os.str());
+  auto round = io::ReadEventLog(&is);
+  ASSERT_TRUE(round.ok()) << round.status();
+  ASSERT_EQ(round->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*round)[i].timestamp, events[i].timestamp);
+    EXPECT_EQ(*(*round)[i].graph, *events[i].graph);
+  }
+}
+
+TEST(GraphTextTest, EventLogRejectsDisorderAndHeaderlessLines) {
+  std::istringstream headerless("node|1|A\n");
+  EXPECT_FALSE(io::ReadEventLog(&headerless).ok());
+  std::istringstream disordered(
+      "@ 2022-01-01T01:00\nnode|1|A\n@ 2022-01-01T00:00\nnode|2|A\n");
+  EXPECT_FALSE(io::ReadEventLog(&disordered).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ReorderBuffer
+// ---------------------------------------------------------------------------
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+std::shared_ptr<const PropertyGraph> Tiny(int64_t id) {
+  return std::make_shared<const PropertyGraph>(
+      GraphBuilder().Node(id, {"N"}).Build());
+}
+
+TEST(ReorderBufferTest, ReordersWithinLateness) {
+  ReorderBuffer buffer(Duration::FromMinutes(5));
+  EXPECT_TRUE(buffer.Offer(Tiny(2), T(12)));
+  EXPECT_TRUE(buffer.Offer(Tiny(1), T(10)));  // Out of order, tolerated.
+  EXPECT_TRUE(buffer.Offer(Tiny(3), T(20)));
+  // Watermark = 20 − 5 = 15: elements at 10 and 12 are releasable.
+  auto released = buffer.Release();
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].timestamp, T(10));
+  EXPECT_EQ(released[1].timestamp, T(12));
+  EXPECT_EQ(buffer.pending(), 1u);
+}
+
+TEST(ReorderBufferTest, DropsTooLateElements) {
+  ReorderBuffer buffer(Duration::FromMinutes(5));
+  EXPECT_TRUE(buffer.Offer(Tiny(1), T(20)));
+  EXPECT_FALSE(buffer.Offer(Tiny(2), T(10)));  // Older than watermark 15.
+  EXPECT_EQ(buffer.dropped(), 1);
+  EXPECT_TRUE(buffer.Offer(Tiny(3), T(16)));   // Within lateness.
+}
+
+TEST(ReorderBufferTest, FlushReturnsEverythingInOrder) {
+  ReorderBuffer buffer(Duration::FromMinutes(60));
+  EXPECT_TRUE(buffer.Offer(Tiny(3), T(30)));
+  EXPECT_TRUE(buffer.Offer(Tiny(1), T(10)));
+  EXPECT_TRUE(buffer.Offer(Tiny(2), T(20)));
+  EXPECT_TRUE(buffer.Release().empty());  // Watermark at −30.
+  auto all = buffer.Flush();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].timestamp, T(10));
+  EXPECT_EQ(all[2].timestamp, T(30));
+  EXPECT_EQ(buffer.pending(), 0u);
+}
+
+TEST(ReorderBufferTest, FeedsStreamInOrder) {
+  ReorderBuffer buffer(Duration::FromMinutes(5));
+  PropertyGraphStream stream;
+  std::vector<std::pair<int64_t, int64_t>> arrivals = {
+      {1, 12}, {2, 10}, {3, 25}, {4, 22}, {5, 40}};
+  for (auto [id, minute] : arrivals) {
+    buffer.Offer(Tiny(id), T(minute));
+    for (const StreamElement& e : buffer.Release()) {
+      ASSERT_TRUE(stream.Append(e.graph, e.timestamp).ok());
+    }
+  }
+  for (const StreamElement& e : buffer.Flush()) {
+    ASSERT_TRUE(stream.Append(e.graph, e.timestamp).ok());
+  }
+  EXPECT_EQ(stream.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// exists() pattern predicate
+// ---------------------------------------------------------------------------
+
+TEST(ExistsPatternTest, FiltersByNeighborhood) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"P"}, {{"name", Value::String("a")}})
+                        .Node(2, {"P"}, {{"name", Value::String("b")}})
+                        .Node(3, {"C"})
+                        .Rel(1, 1, 3, "OWNS")
+                        .Build();
+  auto q = ParseCypherQuery(
+      "MATCH (p:P) WHERE exists((p)-[:OWNS]->(:C)) RETURN p.name");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*q, g, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows()[0].GetOrNull("p.name"), Value::String("a"));
+}
+
+TEST(ExistsPatternTest, NegatedInWhere) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"P"})
+                        .Node(2, {"P"})
+                        .Rel(1, 1, 2, "KNOWS")
+                        .Build();
+  auto q = ParseCypherQuery(
+      "MATCH (p:P) WHERE NOT exists((p)-[:KNOWS]->()) RETURN id(p) AS i");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*q, g, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows()[0].GetOrNull("i"), Value::Int(2));
+}
+
+TEST(ExistsPatternTest, PropertyExistenceFormStillWorks) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"P"}, {{"x", Value::Int(1)}})
+                        .Node(2, {"P"})
+                        .Build();
+  auto q = ParseCypherQuery(
+      "MATCH (p:P) WHERE exists(p.x) RETURN id(p) AS i");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*q, g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows()[0].GetOrNull("i"), Value::Int(1));
+}
+
+}  // namespace
+}  // namespace seraph

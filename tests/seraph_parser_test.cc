@@ -1,0 +1,156 @@
+// Seraph grammar tests (Fig. 6): REGISTER QUERY / STARTING AT / WITHIN /
+// EMIT / report policies / EVERY.
+#include <gtest/gtest.h>
+
+#include "seraph/seraph_parser.h"
+#include "workloads/bike_sharing.h"
+#include "workloads/network.h"
+#include "workloads/pole.h"
+
+namespace seraph {
+namespace {
+
+RegisteredQuery MustParse(std::string_view text) {
+  auto q = ParseSeraphQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return q.ok() ? std::move(q).value() : RegisteredQuery{};
+}
+
+TEST(SeraphParserTest, Listing5Parses) {
+  RegisteredQuery q = MustParse(workloads::RunningExampleSeraphQuery());
+  EXPECT_EQ(q.name, "student_trick");
+  EXPECT_EQ(q.starting_at, Timestamp::Parse("2022-10-14T14:45").value());
+  EXPECT_EQ(q.mode, OutputMode::kEmitStream);
+  EXPECT_EQ(q.policy, ReportPolicy::kOnEntering);
+  EXPECT_EQ(q.every.millis(), Duration::FromMinutes(5).millis());
+  EXPECT_EQ(q.MaxWidth().millis(), Duration::FromHours(1).millis());
+  ASSERT_EQ(q.projection.items.size(), 4u);
+  EXPECT_EQ(q.projection.items[3].alias, "hops");
+}
+
+TEST(SeraphParserTest, QuotedDatetimeAndDurations) {
+  RegisteredQuery q = MustParse(R"(
+    REGISTER QUERY qq STARTING AT '2024-01-01T00:00'
+    {
+      MATCH (n:X) WITHIN 'PT90S'
+      EMIT n.id EVERY 'PT30S'
+    }
+  )");
+  EXPECT_EQ(q.starting_at, Timestamp::Parse("2024-01-01T00:00").value());
+  EXPECT_EQ(q.every.millis(), 90'000 / 3);
+  EXPECT_EQ(q.MaxWidth().millis(), 90'000);
+  EXPECT_EQ(q.policy, ReportPolicy::kSnapshot);  // Default.
+}
+
+TEST(SeraphParserTest, SnapshotPolicyPrefixAndPostfix) {
+  RegisteredQuery prefix = MustParse(R"(
+    REGISTER QUERY a STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M EMIT SNAPSHOT n EVERY PT1M })");
+  EXPECT_EQ(prefix.policy, ReportPolicy::kSnapshot);
+  RegisteredQuery postfix = MustParse(R"(
+    REGISTER QUERY b STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M EMIT n SNAPSHOT EVERY PT1M })");
+  EXPECT_EQ(postfix.policy, ReportPolicy::kSnapshot);
+}
+
+TEST(SeraphParserTest, OnExitingPolicy) {
+  RegisteredQuery q = MustParse(R"(
+    REGISTER QUERY c STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M EMIT n ON EXITING EVERY PT1M })");
+  EXPECT_EQ(q.policy, ReportPolicy::kOnExiting);
+}
+
+TEST(SeraphParserTest, ReturnOnceMode) {
+  RegisteredQuery q = MustParse(R"(
+    REGISTER QUERY once STARTING AT 2024-01-01T00:00
+    { MATCH (n:X) WITHIN PT5M RETURN n.id })");
+  EXPECT_EQ(q.mode, OutputMode::kReturnOnce);
+}
+
+TEST(SeraphParserTest, PerMatchWindows) {
+  RegisteredQuery q = MustParse(R"(
+    REGISTER QUERY multi STARTING AT 2024-01-01T00:00
+    {
+      MATCH (a:X) WITHIN PT5M
+      MATCH (b:Y {k: a.k}) WITHIN PT1H
+      EMIT a.k EVERY PT1M
+    })");
+  EXPECT_EQ(q.MaxWidth().millis(), Duration::FromHours(1).millis());
+  int withins = 0;
+  for (const Clause& c : q.clauses) {
+    if (const auto* m = std::get_if<MatchClause>(&c)) {
+      EXPECT_TRUE(m->within.has_value());
+      ++withins;
+    }
+  }
+  EXPECT_EQ(withins, 2);
+}
+
+TEST(SeraphParserTest, UseCaseQueriesParse) {
+  Timestamp t0 = Timestamp::FromMillis(0);
+  EXPECT_TRUE(
+      ParseSeraphQuery(workloads::NetworkMonitoringSeraphQuery(t0)).ok());
+  EXPECT_TRUE(
+      ParseSeraphQuery(workloads::CrimeInvestigationSeraphQuery(t0)).ok());
+}
+
+TEST(SeraphParserTest, RejectsMatchWithoutWithin) {
+  auto q = ParseSeraphQuery(R"(
+    REGISTER QUERY bad STARTING AT 2024-01-01T00:00
+    { MATCH (n:X) EMIT n.id EVERY PT1M })");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(SeraphParserTest, RejectsEmitWithoutEvery) {
+  EXPECT_FALSE(ParseSeraphQuery(R"(
+    REGISTER QUERY bad STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M EMIT n })")
+                   .ok());
+}
+
+TEST(SeraphParserTest, RejectsConflictingPolicies) {
+  EXPECT_FALSE(ParseSeraphQuery(R"(
+    REGISTER QUERY bad STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M EMIT SNAPSHOT n ON ENTERING EVERY PT1M })")
+                   .ok());
+}
+
+TEST(SeraphParserTest, RejectsMissingPieces) {
+  EXPECT_FALSE(ParseSeraphQuery("").ok());
+  EXPECT_FALSE(ParseSeraphQuery("REGISTER QUERY x { }").ok());
+  EXPECT_FALSE(ParseSeraphQuery(
+                   "REGISTER QUERY x STARTING AT 2024-01-01 { MATCH (n) "
+                   "WITHIN PT1M EMIT n EVERY PT1M")
+                   .ok());  // Missing '}'.
+  EXPECT_FALSE(
+      ParseSeraphQuery("REGISTER QUERY x STARTING AT nope { }").ok());
+}
+
+TEST(SeraphParserTest, DescribeSummarizesExecution) {
+  RegisteredQuery q = MustParse(workloads::RunningExampleSeraphQuery());
+  std::string description = q.Describe();
+  EXPECT_NE(description.find("query student_trick"), std::string::npos);
+  EXPECT_NE(description.find("EMIT every PT5M (ON ENTERING)"),
+            std::string::npos);
+  EXPECT_NE(description.find("window PT1H"), std::string::npos);
+  EXPECT_NE(description.find("result reuse eligible"), std::string::npos);
+  RegisteredQuery once = MustParse(R"(
+    REGISTER QUERY o STARTING AT 2024-01-01T00:00
+    { MATCH (n) WITHIN PT1M FROM sensors RETURN n.id, datetime() AS at })");
+  std::string d2 = once.Describe();
+  EXPECT_NE(d2.find("RETURN once"), std::string::npos);
+  EXPECT_NE(d2.find("stream 'sensors'"), std::string::npos);
+  EXPECT_NE(d2.find("evaluation-time dependent"), std::string::npos);
+}
+
+TEST(SeraphParserTest, UnquotedDatetimeWithSeconds) {
+  RegisteredQuery q = MustParse(R"(
+    REGISTER QUERY s STARTING AT 2024-06-30T23:59:30
+    { MATCH (n) WITHIN PT1M EMIT n EVERY PT1M })");
+  EXPECT_EQ(q.starting_at,
+            Timestamp::Parse("2024-06-30T23:59:30").value());
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,134 @@
+// Emit sinks: printing, counting, CSV export, and the reduce() expression
+// (exercised through a full continuous query).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cypher/eval.h"
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraph Item(int64_t id, std::string name) {
+  return GraphBuilder()
+      .Node(id, {"X"},
+            {{"id", Value::Int(id)}, {"name", Value::String(std::move(name))}})
+      .Build();
+}
+
+class SinksFixture : public ::testing::Test {
+ protected:
+  void Run(EmitSink* sink) {
+    ContinuousEngine engine;
+    engine.AddSink(sink);
+    ASSERT_TRUE(engine.RegisterText(R"(
+      REGISTER QUERY q STARTING AT '1970-01-01T00:05'
+      { MATCH (n:X) WITHIN PT30M EMIT n.id, n.name
+        SNAPSHOT EVERY PT5M })")
+                    .ok());
+    ASSERT_TRUE(engine.Ingest(Item(1, "plain"), T(1)).ok());
+    ASSERT_TRUE(engine.Ingest(Item(2, "has,comma \"quoted\""), T(2)).ok());
+    ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+  }
+};
+
+TEST_F(SinksFixture, CountingSinkTotals) {
+  CountingSink sink;
+  Run(&sink);
+  EXPECT_EQ(sink.evaluations(), 2);  // 5 and 10.
+  EXPECT_EQ(sink.rows(), 4);         // 2 rows per evaluation (SNAPSHOT).
+  sink.Reset();
+  EXPECT_EQ(sink.evaluations(), 0);
+  EXPECT_EQ(sink.rows(), 0);
+}
+
+TEST_F(SinksFixture, PrintingSinkRendersTables) {
+  std::ostringstream os;
+  PrintingSink sink(&os, {"n.id", "n.name"});
+  Run(&sink);
+  std::string out = os.str();
+  EXPECT_NE(out.find("[q] evaluation at 1970-01-01T00:05"),
+            std::string::npos);
+  EXPECT_NE(out.find("| n.id |"), std::string::npos);
+  EXPECT_NE(out.find("plain"), std::string::npos);
+  EXPECT_NE(out.find("win_start"), std::string::npos);
+}
+
+TEST_F(SinksFixture, PrintingSinkSkipsEmptyByDefault) {
+  std::ostringstream os;
+  PrintingSink sink(&os, {"n.id"});
+  ContinuousEngine engine;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY empty STARTING AT '1970-01-01T00:05'
+    { MATCH (n:Nope) WITHIN PT5M EMIT n.id EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST_F(SinksFixture, CsvSinkEscapesAndAnnotates) {
+  std::ostringstream os;
+  CsvSink sink(&os, {"n.id", "n.name"});
+  Run(&sink);
+  std::string out = os.str();
+  // Header once.
+  EXPECT_EQ(out.find("query,evaluation_time,win_start,win_end,n.id,n.name"),
+            0u);
+  EXPECT_EQ(out.find("query,", 10), std::string::npos);
+  // RFC 4180 quoting of the tricky value.
+  EXPECT_NE(out.find("\"has,comma \"\"quoted\"\"\""), std::string::npos);
+  // Four data rows (2 rows × 2 evaluations) + header.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(ReduceExprTest, FoldsLists) {
+  auto eval = [](std::string_view text) {
+    auto expr = ParseCypherExpression(text);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    PropertyGraph g;
+    EvalContext ctx(&g, nullptr);
+    auto v = (*expr)->Eval(ctx);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return v.ok() ? v.value() : Value::Null();
+  };
+  EXPECT_EQ(eval("reduce(acc = 0, x IN [1, 2, 3] | acc + x)"),
+            Value::Int(6));
+  EXPECT_EQ(eval("reduce(s = '', w IN ['a', 'b'] | s + w)"),
+            Value::String("ab"));
+  EXPECT_EQ(eval("reduce(acc = 1, x IN [] | acc * x)"), Value::Int(1));
+  EXPECT_TRUE(eval("reduce(acc = 0, x IN null | acc)").is_null());
+  // Nested locals: inner reduce shadows nothing outside.
+  EXPECT_EQ(
+      eval("reduce(a = 0, x IN [1, 2] | a + reduce(b = 0, y IN [10] | b + y))"),
+      Value::Int(20));
+}
+
+TEST(ReduceExprTest, UsableInQueries) {
+  PropertyGraph g = GraphBuilder()
+                        .Node(1, {"X"}, {{"xs", Value::MakeList(
+                                                    {Value::Int(2),
+                                                     Value::Int(5)})}})
+                        .Build();
+  auto q = ParseCypherQuery(
+      "MATCH (n:X) RETURN reduce(acc = 0, x IN n.xs | acc + x) AS total");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ExecutionOptions options;
+  auto result = ExecuteQueryOnGraph(*q, g, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows()[0].GetOrNull("total"), Value::Int(7));
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,183 @@
+// Snapshot reducibility (Def. 5.8) — the load-bearing invariant of the
+// continuous semantics: at every evaluation time instant, the continuous
+// query's SNAPSHOT result equals its non-streaming counterpart evaluated
+// over the active window's snapshot graph, built independently.
+#include <gtest/gtest.h>
+
+#include "cypher/executor.h"
+#include "cypher/parser.h"
+#include "seraph/continuous_engine.h"
+#include "stream/snapshot.h"
+#include "stream/window.h"
+#include "workloads/bike_sharing.h"
+
+namespace seraph {
+namespace {
+
+struct Case {
+  const char* name;
+  const char* seraph_body;   // Between the braces, EMIT ... SNAPSHOT form.
+  const char* cypher;        // The non-streaming counterpart Q.
+  int width_minutes;
+  int every_minutes;
+};
+
+// The bodies use a single WITHIN width so Q is evaluated over exactly one
+// snapshot graph.
+const Case kCases[] = {
+    {"rentals",
+     "MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT30M "
+     "EMIT r.user_id, s.id SNAPSHOT EVERY PT5M",
+     "MATCH (b:Bike)-[r:rentedAt]->(s:Station) RETURN r.user_id, s.id",
+     30, 5},
+    {"chains",
+     "MATCH q = (b:Bike)-[:returnedAt|rentedAt*2..3]-(o:Station) "
+     "WITHIN PT45M "
+     "EMIT [n IN nodes(q) | id(n)] AS trail SNAPSHOT EVERY PT10M",
+     "MATCH q = (b:Bike)-[:returnedAt|rentedAt*2..3]-(o:Station) "
+     "RETURN [n IN nodes(q) | id(n)] AS trail",
+     45, 10},
+    {"aggregated",
+     "MATCH (b:Bike)-[r:returnedAt]->(s:Station) WITHIN PT60M "
+     "EMIT s.id, count(*) AS returns, avg(r.duration) AS mean "
+     "SNAPSHOT EVERY PT15M",
+     "MATCH (b:Bike)-[r:returnedAt]->(s:Station) "
+     "RETURN s.id, count(*) AS returns, avg(r.duration) AS mean",
+     60, 15},
+};
+
+class SnapshotReducibilityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SnapshotReducibilityTest, ContinuousEqualsOneTimeOverSnapshot) {
+  auto [case_index, seed] = GetParam();
+  const Case& c = kCases[case_index];
+
+  workloads::BikeSharingConfig config;
+  config.seed = static_cast<uint64_t>(seed) * 7919 + 3;
+  config.num_events = 24;
+  config.num_stations = 6;
+  config.num_bikes = 12;
+  config.num_users = 15;
+  std::vector<workloads::Event> events =
+      workloads::GenerateBikeSharingStream(config);
+  if (events.empty()) GTEST_SKIP() << "empty generated stream";
+
+  // Continuous evaluation.
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  std::string registered = std::string("REGISTER QUERY cq STARTING AT "
+                                       "'1970-01-01T00:05' { ") +
+                           c.seraph_body + " }";
+  ASSERT_TRUE(engine.RegisterText(registered).ok());
+  PropertyGraphStream mirror;
+  for (const auto& event : events) {
+    ASSERT_TRUE(engine.Ingest(event.graph, event.timestamp).ok());
+    ASSERT_TRUE(mirror.Append(event.graph, event.timestamp).ok());
+  }
+  Timestamp horizon = events.back().timestamp;
+  ASSERT_TRUE(engine.AdvanceTo(horizon).ok());
+
+  // Independent one-time evaluation per ET instant.
+  auto one_time = ParseCypherQuery(c.cypher);
+  ASSERT_TRUE(one_time.ok()) << one_time.status();
+  EvaluationTimes et(Timestamp::FromMillis(5 * 60'000),
+                     Duration::FromMinutes(c.every_minutes));
+  int checked = 0;
+  for (Timestamp t : et.UpTo(horizon)) {
+    TimeInterval window{t - Duration::FromMinutes(c.width_minutes), t};
+    auto snapshot = BuildSnapshot(mirror, window,
+                                  IntervalBounds::kLeftOpenRightClosed);
+    ASSERT_TRUE(snapshot.ok());
+    ExecutionOptions options;
+    options.now = t;
+    options.window = window;
+    auto expected = ExecuteQueryOnGraph(*one_time, *snapshot, options);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    auto actual = sink.ResultAt("cq", t);
+    ASSERT_TRUE(actual.has_value()) << t.ToString();
+    EXPECT_EQ(actual->table, *expected)
+        << c.name << " diverges at " << t.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CasesAndSeeds, SnapshotReducibilityTest,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 6)),
+    [](const auto& info) {
+      return std::string(kCases[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The same invariant under the literal Def. 5.9/5.11 semantics: the
+// one-time counterpart runs over the active *formal* window clamped at
+// the evaluation instant (causality; DESIGN.md §2).
+class PaperFormalReducibilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperFormalReducibilityTest, ContinuousEqualsOneTimeOverSnapshot) {
+  const Case& c = kCases[0];  // The simple-rentals body.
+  workloads::BikeSharingConfig config;
+  config.seed = static_cast<uint64_t>(GetParam()) * 131 + 17;
+  config.num_events = 24;
+  config.num_stations = 6;
+  config.num_bikes = 12;
+  config.num_users = 15;
+  std::vector<workloads::Event> events =
+      workloads::GenerateBikeSharingStream(config);
+  if (events.empty()) GTEST_SKIP() << "empty generated stream";
+
+  EngineOptions options;
+  options.semantics = WindowSemantics::kPaperFormal;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  std::string registered = std::string("REGISTER QUERY cq STARTING AT "
+                                       "'1970-01-01T00:05' { ") +
+                           c.seraph_body + " }";
+  ASSERT_TRUE(engine.RegisterText(registered).ok());
+  PropertyGraphStream mirror;
+  for (const auto& event : events) {
+    ASSERT_TRUE(engine.Ingest(event.graph, event.timestamp).ok());
+    ASSERT_TRUE(mirror.Append(event.graph, event.timestamp).ok());
+  }
+  Timestamp horizon = events.back().timestamp;
+  ASSERT_TRUE(engine.AdvanceTo(horizon).ok());
+
+  auto one_time = ParseCypherQuery(c.cypher);
+  ASSERT_TRUE(one_time.ok());
+  WindowConfig window_config{Timestamp::FromMillis(5 * 60'000),
+                             Duration::FromMinutes(c.width_minutes),
+                             Duration::FromMinutes(c.every_minutes),
+                             WindowSemantics::kPaperFormal};
+  EvaluationTimes et(Timestamp::FromMillis(5 * 60'000),
+                     Duration::FromMinutes(c.every_minutes));
+  for (Timestamp t : et.UpTo(horizon)) {
+    auto window = window_config.ActiveWindow(t);
+    ASSERT_TRUE(window.has_value());
+    TimeInterval effective = *window;
+    if (t < effective.end) {
+      effective.end = Timestamp::FromMillis(t.millis() + 1);
+    }
+    auto snapshot =
+        BuildSnapshot(mirror, effective, window_config.bounds());
+    ASSERT_TRUE(snapshot.ok());
+    ExecutionOptions exec;
+    exec.now = t;
+    exec.window = window;
+    auto expected = ExecuteQueryOnGraph(*one_time, *snapshot, exec);
+    ASSERT_TRUE(expected.ok());
+    auto actual = sink.ResultAt("cq", t);
+    ASSERT_TRUE(actual.has_value()) << t.ToString();
+    EXPECT_EQ(actual->table, *expected) << "diverges at " << t.ToString();
+    EXPECT_EQ(actual->window, *window) << "annotation at " << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperFormalReducibilityTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace seraph

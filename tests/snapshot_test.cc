@@ -1,0 +1,197 @@
+// Snapshot graphs (Def. 5.5): full rebuild vs. incremental maintenance,
+// including the property test that the two are observationally equal over
+// randomized streams and window slides.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/graph_builder.h"
+#include "stream/snapshot.h"
+#include "workloads/bike_sharing.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraphStream RunningExample() {
+  PropertyGraphStream s;
+  Status ok =
+      workloads::AppendEvents(workloads::BuildRunningExampleStream(), &s);
+  EXPECT_TRUE(ok.ok());
+  return s;
+}
+
+TEST(SnapshotTest, FullWindowEqualsFigure2) {
+  PropertyGraphStream s = RunningExample();
+  Timestamp start = Timestamp::Parse("2022-10-14T14:40").value();
+  Timestamp end = Timestamp::Parse("2022-10-14T15:40").value();
+  auto snapshot = BuildSnapshot(s, TimeInterval{start, end},
+                                IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(*snapshot, workloads::BuildRunningExampleMergedGraph());
+}
+
+TEST(SnapshotTest, NarrowWindowSelectsPrefix) {
+  PropertyGraphStream s = RunningExample();
+  // (14:15, 15:15]: first three events → the §5.4 15:15h narrative.
+  Timestamp start = Timestamp::Parse("2022-10-14T14:15").value();
+  Timestamp end = Timestamp::Parse("2022-10-14T15:15").value();
+  auto snapshot = BuildSnapshot(s, TimeInterval{start, end},
+                                IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_relationships(), 5u);  // r1..r5.
+  EXPECT_EQ(snapshot->num_nodes(), 6u);  // Stations 1-3, bikes 5, 6, 8.
+}
+
+TEST(SnapshotTest, EmptyWindowYieldsEmptyGraph) {
+  PropertyGraphStream s = RunningExample();
+  auto snapshot = BuildSnapshot(
+      s, TimeInterval{T(0), T(1)}, IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_nodes(), 0u);
+}
+
+TEST(SnapshotTest, LaterElementsWinOnPropertyConflicts) {
+  PropertyGraphStream s;
+  ASSERT_TRUE(
+      s.Append(GraphBuilder()
+                   .Node(1, {"N"}, {{"v", Value::Int(1)}})
+                   .Build(),
+               T(1))
+          .ok());
+  ASSERT_TRUE(
+      s.Append(GraphBuilder()
+                   .Node(1, {"N"}, {{"v", Value::Int(2)}})
+                   .Build(),
+               T(2))
+          .ok());
+  auto snapshot = BuildSnapshot(s, TimeInterval{T(0), T(5)},
+                                IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->node(NodeId{1})->properties.at("v"), Value::Int(2));
+}
+
+TEST(IncrementalSnapshotterTest, MatchesRebuildOnRunningExample) {
+  PropertyGraphStream s = RunningExample();
+  IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+  Timestamp start = Timestamp::Parse("2022-10-14T14:45").value();
+  for (int i = 0; i <= 11; ++i) {
+    Timestamp eval = start + Duration::FromMinutes(5 * i);
+    TimeInterval window{eval - Duration::FromHours(1), eval};
+    ASSERT_TRUE(inc.Advance(window).ok());
+    auto rebuilt = BuildSnapshot(s, window,
+                                 IntervalBounds::kLeftOpenRightClosed);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(inc.graph(), *rebuilt) << "at evaluation " << eval.ToString();
+  }
+}
+
+TEST(IncrementalSnapshotterTest, EvictionRemovesExpiredEntities) {
+  PropertyGraphStream s;
+  ASSERT_TRUE(s.Append(GraphBuilder()
+                           .Node(1, {"A"})
+                           .Node(2, {"A"})
+                           .Rel(1, 1, 2, "R")
+                           .Build(),
+                       T(0))
+                  .ok());
+  ASSERT_TRUE(s.Append(GraphBuilder().Node(3, {"B"}).Build(), T(10)).ok());
+  IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(-5), T(5)}).ok());
+  EXPECT_EQ(inc.graph().num_nodes(), 2u);
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(5), T(15)}).ok());
+  EXPECT_EQ(inc.graph().num_nodes(), 1u);
+  EXPECT_EQ(inc.graph().num_relationships(), 0u);
+  EXPECT_TRUE(inc.graph().HasNode(NodeId{3}));
+}
+
+TEST(IncrementalSnapshotterTest, EvictionRevertsPropertyOverwrites) {
+  PropertyGraphStream s;
+  ASSERT_TRUE(s.Append(GraphBuilder()
+                           .Node(1, {"N"}, {{"v", Value::Int(1)}})
+                           .Build(),
+                       T(0))
+                  .ok());
+  ASSERT_TRUE(s.Append(GraphBuilder()
+                           .Node(1, {"N"}, {{"v", Value::Int(2)}})
+                           .Build(),
+                       T(10))
+                  .ok());
+  IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(-5), T(15)}).ok());
+  EXPECT_EQ(inc.graph().node(NodeId{1})->properties.at("v"), Value::Int(2));
+  // After the first element expires, only the *second* contribution
+  // remains; after both expire the node disappears.
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(5), T(15)}).ok());
+  EXPECT_EQ(inc.graph().node(NodeId{1})->properties.at("v"), Value::Int(2));
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(11), T(20)}).ok());
+  EXPECT_FALSE(inc.graph().HasNode(NodeId{1}));
+}
+
+TEST(IncrementalSnapshotterTest, RejectsBackwardSlides) {
+  PropertyGraphStream s = RunningExample();
+  IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_TRUE(inc.Advance(TimeInterval{T(100), T(200)}).ok());
+  EXPECT_FALSE(inc.Advance(TimeInterval{T(50), T(150)}).ok());
+}
+
+// Property test: on random streams, sliding windows of random width/slide,
+// the incremental snapshot equals the from-scratch rebuild at every step.
+class SnapshotEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotEquivalenceTest, IncrementalEqualsRebuild) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> node_dist(1, 20);
+  std::uniform_int_distribution<int> per_event(1, 5);
+  std::uniform_int_distribution<int> gap(1, 4);
+  std::uniform_int_distribution<int> width_dist(5, 30);
+  std::uniform_int_distribution<int> slide_dist(1, 10);
+
+  PropertyGraphStream s;
+  int64_t now = 0;
+  int64_t rel_id = 0;
+  for (int e = 0; e < 40; ++e) {
+    now += gap(rng);
+    PropertyGraph g;
+    int n = per_event(rng);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) {
+      NodeId id{node_dist(rng)};
+      NodeData data;
+      data.labels = {"N"};
+      data.properties = {{"seen_at", Value::Int(now)}};
+      g.MergeNode(id, data);
+      ids.push_back(id);
+    }
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      if (ids[i] == ids[i + 1]) continue;
+      RelData rel;
+      rel.type = "E";
+      rel.src = ids[i];
+      rel.trg = ids[i + 1];
+      ASSERT_TRUE(g.MergeRelationship(RelId{++rel_id}, rel).ok());
+    }
+    ASSERT_TRUE(s.Append(std::move(g), T(now)).ok());
+  }
+
+  int width = width_dist(rng);
+  int slide = slide_dist(rng);
+  IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+  for (int64_t end = 0; end <= now + slide; end += slide) {
+    TimeInterval window{T(end - width), T(end)};
+    ASSERT_TRUE(inc.Advance(window).ok());
+    auto rebuilt =
+        BuildSnapshot(s, window, IntervalBounds::kLeftOpenRightClosed);
+    ASSERT_TRUE(rebuilt.ok());
+    ASSERT_EQ(inc.graph(), *rebuilt)
+        << "window [" << end - width << ", " << end << "] width=" << width
+        << " slide=" << slide;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotEquivalenceTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace seraph

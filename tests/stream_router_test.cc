@@ -1,0 +1,97 @@
+// Logical sub-stream partitioning (§8 (ii)) via StreamRouter.
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "seraph/stream_router.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+std::shared_ptr<const PropertyGraph> Rental(int64_t id, int64_t region) {
+  return std::make_shared<const PropertyGraph>(
+      GraphBuilder()
+          .Node(id, {"Bike"}, {{"id", Value::Int(id)}})
+          .Node(1000 + region, {"Station"},
+                {{"region", Value::Int(region)}})
+          .Rel(id, id, 1000 + region, "rentedAt")
+          .Build());
+}
+
+std::shared_ptr<const PropertyGraph> Return(int64_t id, int64_t region) {
+  return std::make_shared<const PropertyGraph>(
+      GraphBuilder()
+          .Node(id, {"Bike"}, {{"id", Value::Int(id)}})
+          .Node(1000 + region, {"Station"},
+                {{"region", Value::Int(region)}})
+          .Rel(100 + id, id, 1000 + region, "returnedAt")
+          .Build());
+}
+
+TEST(StreamRouterTest, RoutesByRelationshipType) {
+  ContinuousEngine engine;
+  StreamRouter router;
+  router.AddRoute("rentals", HasRelationshipType("rentedAt"));
+  router.AddRoute("returns", HasRelationshipType("returnedAt"));
+  router.AddRoute("all", AcceptAll());
+
+  auto d1 = router.Route(&engine, Rental(1, 1), T(1));
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(*d1, 2);  // rentals + all.
+  auto d2 = router.Route(&engine, Return(1, 1), T(2));
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(*d2, 2);  // returns + all.
+
+  EXPECT_EQ(engine.stream("rentals").size(), 1u);
+  EXPECT_EQ(engine.stream("returns").size(), 1u);
+  EXPECT_EQ(engine.stream("all").size(), 2u);
+  EXPECT_EQ(engine.stream().size(), 0u);  // Default stream untouched.
+}
+
+TEST(StreamRouterTest, PartitionByPropertyValue) {
+  ContinuousEngine engine;
+  StreamRouter router;
+  router.AddRoute("north", NodePropertyEquals("region", Value::Int(1)));
+  router.AddRoute("south", NodePropertyEquals("region", Value::Int(2)));
+  ASSERT_TRUE(router.Route(&engine, Rental(1, 1), T(1)).ok());
+  ASSERT_TRUE(router.Route(&engine, Rental(2, 2), T(2)).ok());
+  ASSERT_TRUE(router.Route(&engine, Rental(3, 1), T(3)).ok());
+  EXPECT_EQ(engine.stream("north").size(), 2u);
+  EXPECT_EQ(engine.stream("south").size(), 1u);
+}
+
+TEST(StreamRouterTest, UnmatchedEventsGoNowhere) {
+  ContinuousEngine engine;
+  StreamRouter router;
+  router.AddRoute("labeled", HasLabel("Nope"));
+  auto delivered = router.Route(&engine, Rental(1, 1), T(1));
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 0);
+}
+
+TEST(StreamRouterTest, PartitionedQueriesSeeOnlyTheirSubStream) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY north_rentals STARTING AT '1970-01-01T00:05'
+    {
+      MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT30M FROM north
+      EMIT b.id EVERY PT5M
+    })")
+                  .ok());
+  StreamRouter router;
+  router.AddRoute("north", NodePropertyEquals("region", Value::Int(1)));
+  router.AddRoute("south", NodePropertyEquals("region", Value::Int(2)));
+  ASSERT_TRUE(router.Route(&engine, Rental(1, 1), T(1)).ok());
+  ASSERT_TRUE(router.Route(&engine, Rental(2, 2), T(2)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(5)).ok());
+  auto result = sink.ResultAt("north_rentals", T(5));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->table.size(), 1u);
+  EXPECT_EQ(result->table.rows()[0].GetOrNull("b.id"), Value::Int(1));
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,113 @@
+// Property graph streams (Defs. 5.2–5.3), the simulated event queue
+// (Listing 4 transport), and substream selection.
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "stream/event_queue.h"
+#include "stream/graph_stream.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraph Tiny(int64_t id) {
+  return GraphBuilder().Node(id, {"N"}, {{"id", Value::Int(id)}}).Build();
+}
+
+TEST(GraphStreamTest, AppendsInOrder) {
+  PropertyGraphStream s;
+  EXPECT_TRUE(s.Append(Tiny(1), T(10)).ok());
+  EXPECT_TRUE(s.Append(Tiny(2), T(10)).ok());  // Equal timestamps allowed.
+  EXPECT_TRUE(s.Append(Tiny(3), T(20)).ok());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.MaxTimestamp(), T(20));
+}
+
+TEST(GraphStreamTest, RejectsDecreasingTimestamps) {
+  PropertyGraphStream s;
+  ASSERT_TRUE(s.Append(Tiny(1), T(10)).ok());
+  Status bad = s.Append(Tiny(2), T(5));
+  EXPECT_EQ(bad.code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphStreamTest, SubstreamSelection) {
+  PropertyGraphStream s;
+  for (int64_t m : {10, 20, 30, 40}) {
+    ASSERT_TRUE(s.Append(Tiny(m), T(m)).ok());
+  }
+  TimeInterval tau{T(10), T(30)};
+  // [10, 30): elements at 10 and 20.
+  auto closed_open =
+      s.Substream(tau, IntervalBounds::kLeftClosedRightOpen);
+  ASSERT_EQ(closed_open.size(), 2u);
+  EXPECT_EQ(closed_open[0].timestamp, T(10));
+  // (10, 30]: elements at 20 and 30.
+  auto open_closed =
+      s.Substream(tau, IntervalBounds::kLeftOpenRightClosed);
+  ASSERT_EQ(open_closed.size(), 2u);
+  EXPECT_EQ(open_closed[1].timestamp, T(30));
+}
+
+TEST(GraphStreamTest, LowerBound) {
+  PropertyGraphStream s;
+  for (int64_t m : {10, 20, 20, 30}) {
+    ASSERT_TRUE(s.Append(Tiny(m), T(m)).ok());
+  }
+  EXPECT_EQ(s.LowerBound(T(5)), 0u);
+  EXPECT_EQ(s.LowerBound(T(20)), 1u);
+  EXPECT_EQ(s.LowerBound(T(21)), 3u);
+  EXPECT_EQ(s.LowerBound(T(99)), 4u);
+}
+
+TEST(GraphStreamTest, SharedGraphsNotCopiedPerAppend) {
+  auto g = std::make_shared<const PropertyGraph>(Tiny(1));
+  PropertyGraphStream s;
+  ASSERT_TRUE(s.Append(g, T(1)).ok());
+  ASSERT_TRUE(s.Append(g, T(2)).ok());
+  EXPECT_EQ(s.at(0).graph.get(), s.at(1).graph.get());
+}
+
+TEST(EventQueueTest, ProduceAndPoll) {
+  EventQueue q;
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());
+  q.Subscribe("engine");
+  auto batch1 = q.Poll("engine", 2);
+  ASSERT_EQ(batch1.size(), 2u);
+  EXPECT_EQ(batch1[0].timestamp, T(1));
+  auto batch2 = q.Poll("engine", 10);
+  ASSERT_EQ(batch2.size(), 1u);
+  EXPECT_EQ(batch2[0].timestamp, T(3));
+  EXPECT_TRUE(q.Poll("engine", 10).empty());
+}
+
+TEST(EventQueueTest, IndependentConsumers) {
+  EventQueue q;
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  q.Subscribe("a");
+  q.Subscribe("b");
+  EXPECT_EQ(q.Poll("a", 10).size(), 1u);
+  EXPECT_EQ(q.Poll("b", 10).size(), 1u);
+}
+
+TEST(EventQueueTest, SeekReplays) {
+  EventQueue q;
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  q.Subscribe("c");
+  EXPECT_EQ(q.Poll("c", 10).size(), 2u);
+  ASSERT_TRUE(q.Seek("c", 0).ok());
+  EXPECT_EQ(q.Poll("c", 10).size(), 2u);
+  EXPECT_FALSE(q.Seek("c", 5).ok());
+}
+
+TEST(EventQueueTest, UnknownConsumerStartsAtZero) {
+  EventQueue q;
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  EXPECT_EQ(q.Poll("fresh", 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace seraph

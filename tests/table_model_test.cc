@@ -1,0 +1,171 @@
+// Tests for Defs. 3.2 (records, bag tables), 5.6 (time-annotated tables),
+// and 5.7 (time-varying tables).
+#include <gtest/gtest.h>
+
+#include "table/record.h"
+#include "table/table.h"
+#include "table/time_table.h"
+
+namespace seraph {
+namespace {
+
+Record R(std::map<std::string, Value> fields) {
+  return Record(std::move(fields));
+}
+
+TEST(RecordTest, DomainAndAccess) {
+  Record r = R({{"a", Value::Int(1)}, {"b", Value::String("x")}});
+  EXPECT_EQ(r.Domain(), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(*r.Find("a"), Value::Int(1));
+  EXPECT_EQ(r.Find("c"), nullptr);
+  EXPECT_TRUE(r.GetOrNull("c").is_null());
+}
+
+TEST(RecordTest, ExtendedMergesBindings) {
+  Record u = R({{"a", Value::Int(1)}});
+  Record v = R({{"b", Value::Int(2)}});
+  Record uv = u.Extended(v);
+  EXPECT_EQ(uv.Domain(), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(*uv.Find("a"), Value::Int(1));
+  EXPECT_EQ(*uv.Find("b"), Value::Int(2));
+}
+
+TEST(RecordTest, EqualityAndHash) {
+  Record a = R({{"x", Value::Int(1)}});
+  Record b = R({{"x", Value::Int(1)}});
+  Record c = R({{"x", Value::Int(2)}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(TableTest, UnitTableHasOneEmptyRecord) {
+  Table t = Table::Unit();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.rows()[0].empty());
+  EXPECT_TRUE(t.fields().empty());
+}
+
+TEST(TableTest, BagSemanticsKeepDuplicates) {
+  Table t({"a"});
+  t.Append(R({{"a", Value::Int(1)}}));
+  t.Append(R({{"a", Value::Int(1)}}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Count(R({{"a", Value::Int(1)}})), 2u);
+  EXPECT_EQ(t.Distinct().size(), 1u);
+}
+
+TEST(TableTest, BagDifferenceRespectsMultiplicity) {
+  Table a({"x"});
+  a.Append(R({{"x", Value::Int(1)}}));
+  a.Append(R({{"x", Value::Int(1)}}));
+  a.Append(R({{"x", Value::Int(2)}}));
+  Table b({"x"});
+  b.Append(R({{"x", Value::Int(1)}}));
+  b.Append(R({{"x", Value::Int(3)}}));
+  Table diff = Table::BagDifference(a, b);
+  EXPECT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff.Count(R({{"x", Value::Int(1)}})), 1u);
+  EXPECT_EQ(diff.Count(R({{"x", Value::Int(2)}})), 1u);
+}
+
+TEST(TableTest, BagDifferenceWithSelfIsEmpty) {
+  Table a({"x"});
+  a.Append(R({{"x", Value::Int(1)}}));
+  a.Append(R({{"x", Value::Int(2)}}));
+  EXPECT_TRUE(Table::BagDifference(a, a).empty());
+}
+
+TEST(TableTest, BagUnionConcatenates) {
+  Table a({"x"});
+  a.Append(R({{"x", Value::Int(1)}}));
+  Table b({"x"});
+  b.Append(R({{"x", Value::Int(1)}}));
+  b.Append(R({{"x", Value::Int(2)}}));
+  EXPECT_EQ(Table::BagUnion(a, b).size(), 3u);
+}
+
+TEST(TableTest, BagEqualityIsOrderInsensitive) {
+  Table a({"x"});
+  a.Append(R({{"x", Value::Int(1)}}));
+  a.Append(R({{"x", Value::Int(2)}}));
+  Table b({"x"});
+  b.Append(R({{"x", Value::Int(2)}}));
+  b.Append(R({{"x", Value::Int(1)}}));
+  EXPECT_EQ(a, b);
+  b.Append(R({{"x", Value::Int(2)}}));
+  EXPECT_NE(a, b);
+}
+
+TEST(TableTest, ProjectKeepsRequestedFields) {
+  Table t({"a", "b"});
+  t.Append(R({{"a", Value::Int(1)}, {"b", Value::Int(2)}}));
+  Table p = t.Project({"b"});
+  EXPECT_EQ(p.fields(), (std::set<std::string>{"b"}));
+  EXPECT_EQ(*p.rows()[0].Find("b"), Value::Int(2));
+  EXPECT_EQ(p.rows()[0].Find("a"), nullptr);
+}
+
+TEST(TableTest, AsciiRendering) {
+  Table t({"user", "hops"});
+  t.Append(R({{"user", Value::Int(1234)},
+              {"hops", Value::MakeList({Value::Int(2), Value::Int(3)})}}));
+  std::string ascii = t.ToAsciiTable({"user", "hops"});
+  EXPECT_NE(ascii.find("1234"), std::string::npos);
+  EXPECT_NE(ascii.find("[2, 3]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Time-annotated and time-varying tables
+// ---------------------------------------------------------------------------
+
+TimeInterval Window(int64_t start_min, int64_t end_min) {
+  return TimeInterval{
+      Timestamp::FromMillis(start_min * 60'000),
+      Timestamp::FromMillis(end_min * 60'000)};
+}
+
+TEST(TimeAnnotatedTableTest, WithAnnotationsAddsReservedColumns) {
+  Table t({"a"});
+  t.Append(R({{"a", Value::Int(7)}}));
+  TimeAnnotatedTable annotated{t, Window(0, 60)};
+  Table full = annotated.WithAnnotations();
+  EXPECT_TRUE(full.fields().contains(kWinStartField));
+  EXPECT_TRUE(full.fields().contains(kWinEndField));
+  const Record& row = full.rows()[0];
+  EXPECT_EQ(row.GetOrNull(kWinStartField),
+            Value::DateTime(Timestamp::FromMillis(0)));
+  EXPECT_EQ(row.GetOrNull(kWinEndField),
+            Value::DateTime(Timestamp::FromMillis(3'600'000)));
+}
+
+TEST(TimeVaryingTableTest, AtSelectsEarliestCoveringWindow) {
+  TimeVaryingTable psi;
+  Table t1({"a"});
+  t1.Append(R({{"a", Value::Int(1)}}));
+  Table t2({"a"});
+  t2.Append(R({{"a", Value::Int(2)}}));
+  psi.Insert(TimeAnnotatedTable{t1, Window(0, 60)});
+  psi.Insert(TimeAnnotatedTable{t2, Window(30, 90)});
+  // ω = 45 min is covered by both; chronologicality picks the earliest
+  // opening window.
+  auto at45 = psi.At(Timestamp::FromMillis(45 * 60'000));
+  ASSERT_TRUE(at45.has_value());
+  EXPECT_EQ(at45->table, t1);
+  // ω = 70 min is only covered by the second.
+  auto at70 = psi.At(Timestamp::FromMillis(70 * 60'000));
+  ASSERT_TRUE(at70.has_value());
+  EXPECT_EQ(at70->table, t2);
+  // ω = 95 min is uncovered.
+  EXPECT_FALSE(psi.At(Timestamp::FromMillis(95 * 60'000)).has_value());
+}
+
+TEST(TimeVaryingTableTest, InsertEnforcesMonotonicity) {
+  TimeVaryingTable psi;
+  psi.Insert(TimeAnnotatedTable{Table({"a"}), Window(30, 60)});
+  EXPECT_DEATH(psi.Insert(TimeAnnotatedTable{Table({"a"}), Window(0, 30)}),
+               "monotonically");
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "temporal/duration.h"
+#include "temporal/interval.h"
+#include "temporal/timestamp.h"
+
+namespace seraph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Timestamp
+// ---------------------------------------------------------------------------
+
+TEST(TimestampTest, ParsesDateOnly) {
+  auto t = Timestamp::Parse("2022-10-14");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->ToString(), "2022-10-14T00:00");
+}
+
+TEST(TimestampTest, ParsesDateTime) {
+  auto t = Timestamp::Parse("2022-10-14T14:45");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "2022-10-14T14:45");
+  EXPECT_EQ(t->ToClockString(), "14:45");
+}
+
+TEST(TimestampTest, ParsesSecondsAndMillis) {
+  auto t = Timestamp::Parse("2022-10-14T14:45:30.250");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "2022-10-14T14:45:30.250");
+}
+
+TEST(TimestampTest, ToleratesPaperHourSuffixAndZulu) {
+  auto a = Timestamp::Parse("2022-10-14T14:45h");
+  ASSERT_TRUE(a.ok());
+  auto b = Timestamp::Parse("2022-10-14T14:45Z");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->millis(), b->millis());
+}
+
+TEST(TimestampTest, RejectsMalformed) {
+  EXPECT_FALSE(Timestamp::Parse("").ok());
+  EXPECT_FALSE(Timestamp::Parse("2022").ok());
+  EXPECT_FALSE(Timestamp::Parse("2022-13-01").ok());
+  EXPECT_FALSE(Timestamp::Parse("2022-02-30").ok());
+  EXPECT_FALSE(Timestamp::Parse("2022-10-14T25:00").ok());
+  EXPECT_FALSE(Timestamp::Parse("2022-10-14T14:45junk").ok());
+}
+
+TEST(TimestampTest, LeapYearRoundTrip) {
+  auto t = Timestamp::Parse("2024-02-29T12:00");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "2024-02-29T12:00");
+  EXPECT_FALSE(Timestamp::Parse("2023-02-29T12:00").ok());
+}
+
+TEST(TimestampTest, ArithmeticWithDurations) {
+  auto t = Timestamp::Parse("2022-10-14T14:45").value();
+  Timestamp later = t + Duration::FromMinutes(30);
+  EXPECT_EQ(later.ToString(), "2022-10-14T15:15");
+  EXPECT_EQ((later - t).millis(), Duration::FromMinutes(30).millis());
+  EXPECT_EQ((t - Duration::FromHours(1)).ToString(), "2022-10-14T13:45");
+}
+
+TEST(TimestampTest, OrderingAcrossDays) {
+  auto a = Timestamp::Parse("2022-10-14T23:59").value();
+  auto b = Timestamp::Parse("2022-10-15T00:00").value();
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+}
+
+TEST(TimestampTest, CivilConversionStability) {
+  // Sweep a range of instants and verify Parse(ToString(t)) == t.
+  for (int64_t ms : {0LL, 86'400'000LL, 1'665'758'700'000LL,
+                     -86'400'000LL, 253'402'300'799'000LL % 1'000'000'000'000LL}) {
+    Timestamp t = Timestamp::FromMillis(ms);
+    auto round = Timestamp::Parse(t.ToString());
+    ASSERT_TRUE(round.ok()) << t.ToString();
+    EXPECT_EQ(round->millis(), ms) << t.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Duration
+// ---------------------------------------------------------------------------
+
+TEST(DurationTest, ParsesPaperForms) {
+  EXPECT_EQ(Duration::Parse("PT5M")->millis(), 5 * 60 * 1000);
+  EXPECT_EQ(Duration::Parse("PT1H")->millis(), 60 * 60 * 1000);
+  EXPECT_EQ(Duration::Parse("PT10M")->millis(), 10 * 60 * 1000);
+  EXPECT_EQ(Duration::Parse("PT30S")->millis(), 30 * 1000);
+}
+
+TEST(DurationTest, ParsesCompositeForms) {
+  EXPECT_EQ(Duration::Parse("P1DT2H30M")->millis(),
+            (26 * 60 + 30) * 60 * 1000);
+  EXPECT_EQ(Duration::Parse("P2W")->millis(), 14LL * 24 * 3600 * 1000);
+  EXPECT_EQ(Duration::Parse("PT0.5S")->millis(), 500);
+  EXPECT_EQ(Duration::Parse("-PT1M")->millis(), -60 * 1000);
+}
+
+TEST(DurationTest, RejectsCalendarAndMalformed) {
+  EXPECT_FALSE(Duration::Parse("P1Y").ok());
+  EXPECT_FALSE(Duration::Parse("P2M").ok());  // Month (date position).
+  EXPECT_FALSE(Duration::Parse("PT").ok());
+  EXPECT_FALSE(Duration::Parse("5M").ok());
+  EXPECT_FALSE(Duration::Parse("").ok());
+  EXPECT_FALSE(Duration::Parse("PT5X").ok());
+}
+
+TEST(DurationTest, RoundTripsToString) {
+  for (const char* text : {"PT5M", "PT1H", "P1DT2H30M", "PT30S", "PT0S"}) {
+    Duration d = Duration::Parse(text).value();
+    EXPECT_EQ(Duration::Parse(d.ToString())->millis(), d.millis()) << text;
+  }
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = Duration::FromMinutes(5);
+  Duration b = Duration::FromMinutes(3);
+  EXPECT_EQ((a + b).millis(), Duration::FromMinutes(8).millis());
+  EXPECT_EQ((a - b).millis(), Duration::FromMinutes(2).millis());
+  EXPECT_EQ((a * 3).millis(), Duration::FromMinutes(15).millis());
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+// ---------------------------------------------------------------------------
+// TimeInterval
+// ---------------------------------------------------------------------------
+
+TEST(TimeIntervalTest, BoundsPolicies) {
+  Timestamp start = Timestamp::FromMillis(1000);
+  Timestamp end = Timestamp::FromMillis(2000);
+  TimeInterval interval{start, end};
+  // Left-closed right-open: [1000, 2000).
+  EXPECT_TRUE(interval.Contains(start, IntervalBounds::kLeftClosedRightOpen));
+  EXPECT_FALSE(interval.Contains(end, IntervalBounds::kLeftClosedRightOpen));
+  // Left-open right-closed: (1000, 2000].
+  EXPECT_FALSE(interval.Contains(start, IntervalBounds::kLeftOpenRightClosed));
+  EXPECT_TRUE(interval.Contains(end, IntervalBounds::kLeftOpenRightClosed));
+  EXPECT_TRUE(interval.Contains(Timestamp::FromMillis(1500),
+                                IntervalBounds::kLeftClosedRightOpen));
+  EXPECT_TRUE(interval.Contains(Timestamp::FromMillis(1500),
+                                IntervalBounds::kLeftOpenRightClosed));
+}
+
+TEST(TimeIntervalTest, WidthAndEmpty) {
+  TimeInterval interval{Timestamp::FromMillis(0), Timestamp::FromMillis(0)};
+  EXPECT_TRUE(interval.empty());
+  TimeInterval wide{Timestamp::FromMillis(0), Timestamp::FromMillis(3600000)};
+  EXPECT_EQ(wide.width().millis(), Duration::FromHours(1).millis());
+}
+
+}  // namespace
+}  // namespace seraph

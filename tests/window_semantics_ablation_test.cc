@@ -1,0 +1,94 @@
+// End-to-end comparison of the two window semantics (DESIGN.md §2): the
+// default lookback semantics matches the paper's worked examples; the
+// literal Def. 5.9/5.11 forward semantics annotates different windows and
+// is causally clamped (an evaluation never sees elements that arrive
+// after its instant, even when the formal window extends past it).
+#include <gtest/gtest.h>
+
+#include "seraph/continuous_engine.h"
+#include "workloads/bike_sharing.h"
+
+namespace seraph {
+namespace {
+
+Timestamp Clock(int hour, int minute) {
+  return Timestamp::FromCivil(2022, 10, 14, hour, minute).value();
+}
+
+class WindowSemanticsAblation : public ::testing::Test {
+ protected:
+  void Run(WindowSemantics semantics) {
+    EngineOptions options;
+    options.semantics = semantics;
+    engine_ = std::make_unique<ContinuousEngine>(options);
+    engine_->AddSink(&sink_);
+    ASSERT_TRUE(
+        engine_->RegisterText(workloads::RunningExampleSeraphQuery()).ok());
+    for (const auto& event : workloads::BuildRunningExampleStream()) {
+      ASSERT_TRUE(engine_->Ingest(event.graph, event.timestamp).ok());
+    }
+    ASSERT_TRUE(engine_->AdvanceTo(Clock(15, 40)).ok());
+  }
+
+  std::unique_ptr<ContinuousEngine> engine_;
+  CollectingSink sink_;
+};
+
+TEST_F(WindowSemanticsAblation, LookbackAnnotatesTrailingWindows) {
+  Run(WindowSemantics::kLookback);
+  auto at1515 = sink_.ResultAt("student_trick", Clock(15, 15));
+  ASSERT_TRUE(at1515.has_value());
+  EXPECT_EQ(at1515->window.start, Clock(14, 15));
+  EXPECT_EQ(at1515->window.end, Clock(15, 15));
+}
+
+TEST_F(WindowSemanticsAblation, PaperFormalAnnotatesForwardWindows) {
+  Run(WindowSemantics::kPaperFormal);
+  // At 15:15 the earliest Def. 5.9 window containing it is
+  // [14:45, 15:45) — the paper's formal reading, not its examples'.
+  auto at1515 = sink_.ResultAt("student_trick", Clock(15, 15));
+  ASSERT_TRUE(at1515.has_value());
+  EXPECT_EQ(at1515->window.start, Clock(14, 45));
+  EXPECT_EQ(at1515->window.end, Clock(15, 45));
+}
+
+TEST_F(WindowSemanticsAblation, PaperFormalIsCausallyClamped) {
+  Run(WindowSemantics::kPaperFormal);
+  // The 15:15 window formally extends to 15:45 and would cover the events
+  // arriving at 15:20/15:40 (which complete user 5678's pattern) — but
+  // those have not arrived at 15:15, so they must not be visible yet.
+  auto at1515 = sink_.ResultAt("student_trick", Clock(15, 15));
+  ASSERT_TRUE(at1515.has_value());
+  for (const Record& row : at1515->table.rows()) {
+    EXPECT_EQ(row.GetOrNull("r.user_id"), Value::Int(1234));
+  }
+  // User 5678's match appears only once its events have arrived.
+  bool seen_5678 = false;
+  for (const auto& entry :
+       sink_.ResultsFor("student_trick").entries()) {
+    for (const Record& row : entry.table.rows()) {
+      if (row.GetOrNull("r.user_id") == Value::Int(5678)) seen_5678 = true;
+    }
+  }
+  EXPECT_TRUE(seen_5678);
+}
+
+TEST_F(WindowSemanticsAblation, BothFindBothFraudulentUsers) {
+  for (WindowSemantics semantics :
+       {WindowSemantics::kLookback, WindowSemantics::kPaperFormal}) {
+    sink_ = CollectingSink();
+    Run(semantics);
+    std::set<int64_t> users;
+    for (const auto& entry :
+         sink_.ResultsFor("student_trick").entries()) {
+      for (const Record& row : entry.table.rows()) {
+        users.insert(row.GetOrNull("r.user_id").AsInt());
+      }
+    }
+    EXPECT_EQ(users, (std::set<int64_t>{1234, 5678}))
+        << "semantics=" << static_cast<int>(semantics);
+  }
+}
+
+}  // namespace
+}  // namespace seraph

@@ -1,0 +1,159 @@
+// Window operator (Def. 5.9), evaluation time instants (Def. 5.10), and
+// active-window selection (Def. 5.11) under both semantics of DESIGN.md §2.
+#include <gtest/gtest.h>
+
+#include "stream/window.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+TEST(WindowConfigTest, ValidateRejectsNonPositive) {
+  WindowConfig c{T(0), Duration::FromMinutes(0), Duration::FromMinutes(5)};
+  EXPECT_FALSE(c.Validate().ok());
+  WindowConfig c2{T(0), Duration::FromMinutes(5), Duration::FromMinutes(0)};
+  EXPECT_FALSE(c2.Validate().ok());
+  WindowConfig ok{T(0), Duration::FromMinutes(5), Duration::FromMinutes(5)};
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(WindowConfigTest, LookbackActiveWindowEndsAtEvaluationInstant) {
+  // The running example: STARTING AT 14:45, WITHIN PT1H, EVERY PT5M.
+  Timestamp start = Timestamp::Parse("2022-10-14T14:45").value();
+  WindowConfig c{start, Duration::FromHours(1), Duration::FromMinutes(5),
+                 WindowSemantics::kLookback};
+  Timestamp eval = Timestamp::Parse("2022-10-14T15:15").value();
+  auto w = c.ActiveWindow(eval);
+  ASSERT_TRUE(w.has_value());
+  // Table 5's annotation: [14:15, 15:15].
+  EXPECT_EQ(w->start, Timestamp::Parse("2022-10-14T14:15").value());
+  EXPECT_EQ(w->end, eval);
+}
+
+TEST(WindowConfigTest, LookbackBoundsIncludeElementAtEvaluationInstant) {
+  WindowConfig c{T(0), Duration::FromMinutes(60), Duration::FromMinutes(5),
+                 WindowSemantics::kLookback};
+  EXPECT_EQ(c.bounds(), IntervalBounds::kLeftOpenRightClosed);
+  auto w = c.ActiveWindow(T(60));
+  ASSERT_TRUE(w.has_value());
+  // The element arriving exactly at the evaluation instant is included;
+  // the element exactly at t − α is not (§5.4 narrative).
+  EXPECT_TRUE(w->Contains(T(60), c.bounds()));
+  EXPECT_FALSE(w->Contains(T(0), c.bounds()));
+}
+
+TEST(WindowConfigTest, PaperFormalWindowsGrowForward) {
+  WindowConfig c{T(0), Duration::FromMinutes(60), Duration::FromMinutes(5),
+                 WindowSemantics::kPaperFormal};
+  TimeInterval w0 = c.WindowAt(0);
+  EXPECT_EQ(w0.start, T(0));
+  EXPECT_EQ(w0.end, T(60));
+  TimeInterval w2 = c.WindowAt(2);
+  EXPECT_EQ(w2.start, T(10));
+  EXPECT_EQ(w2.end, T(70));
+}
+
+TEST(WindowConfigTest, PaperFormalActivePicksEarliestOpening) {
+  // α = 60, β = 5: many windows contain t = 62; the earliest-opening one
+  // is w_1 = [5, 65) (w_0 = [0, 60) no longer contains 62).
+  WindowConfig c{T(0), Duration::FromMinutes(60), Duration::FromMinutes(5),
+                 WindowSemantics::kPaperFormal};
+  auto w = c.ActiveWindow(T(62));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, T(5));
+  EXPECT_EQ(w->end, T(65));
+}
+
+TEST(WindowConfigTest, PaperFormalActiveAtExactInstants) {
+  WindowConfig c{T(0), Duration::FromMinutes(60), Duration::FromMinutes(5),
+                 WindowSemantics::kPaperFormal};
+  // At t = 0 only w_0 = [0, 60) contains it.
+  auto w = c.ActiveWindow(T(0));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->start, T(0));
+  // At t = 60, w_0 is closed-out (right-open); earliest containing is
+  // w_1 = [5, 65).
+  auto w60 = c.ActiveWindow(T(60));
+  ASSERT_TRUE(w60.has_value());
+  EXPECT_EQ(w60->start, T(5));
+}
+
+TEST(WindowConfigTest, PaperFormalGapsWhenSlideExceedsWidth) {
+  // β > α leaves uncovered instants between windows.
+  WindowConfig c{T(0), Duration::FromMinutes(10), Duration::FromMinutes(20),
+                 WindowSemantics::kPaperFormal};
+  auto in_w0 = c.ActiveWindow(T(5));
+  ASSERT_TRUE(in_w0.has_value());
+  EXPECT_EQ(in_w0->start, T(0));
+  EXPECT_FALSE(c.ActiveWindow(T(15)).has_value());  // In the gap.
+  auto in_w1 = c.ActiveWindow(T(20));
+  ASSERT_TRUE(in_w1.has_value());
+  EXPECT_EQ(in_w1->start, T(20));
+}
+
+TEST(WindowConfigTest, ActiveWindowBeforeStart) {
+  WindowConfig c{T(100), Duration::FromMinutes(60), Duration::FromMinutes(5),
+                 WindowSemantics::kPaperFormal};
+  EXPECT_FALSE(c.ActiveWindow(T(50)).has_value());
+}
+
+TEST(WindowConfigTest, TumblingWindowsPartitionTime) {
+  // β = α: consecutive paper-formal windows tile the axis.
+  WindowConfig c{T(0), Duration::FromMinutes(10), Duration::FromMinutes(10),
+                 WindowSemantics::kPaperFormal};
+  for (int64_t m : {0, 3, 9, 10, 19, 20, 25}) {
+    auto w = c.ActiveWindow(T(m));
+    ASSERT_TRUE(w.has_value()) << m;
+    EXPECT_EQ(w->start, T((m / 10) * 10)) << m;
+  }
+}
+
+// Determinism (Def. 5.9 discussion): the window set depends only on the
+// configuration, never on data timestamps.
+class WindowSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WindowSweepTest, WindowsHaveConfiguredShape) {
+  auto [width_min, slide_min, index] = GetParam();
+  WindowConfig c{T(17), Duration::FromMinutes(width_min),
+                 Duration::FromMinutes(slide_min),
+                 WindowSemantics::kPaperFormal};
+  TimeInterval w = c.WindowAt(index);
+  EXPECT_EQ(w.width().millis(), Duration::FromMinutes(width_min).millis());
+  TimeInterval next = c.WindowAt(index + 1);
+  EXPECT_EQ(next.start.millis() - w.start.millis(),
+            Duration::FromMinutes(slide_min).millis());
+  // Lookback windows have the same shape, anchored to the instant grid.
+  WindowConfig lb = c;
+  lb.semantics = WindowSemantics::kLookback;
+  TimeInterval lw = lb.WindowAt(index);
+  EXPECT_EQ(lw.width().millis(), Duration::FromMinutes(width_min).millis());
+  EXPECT_EQ(lw.end, T(17) + Duration::FromMinutes(slide_min) * index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowSweepTest,
+    ::testing::Combine(::testing::Values(5, 10, 60),
+                       ::testing::Values(1, 5, 10),
+                       ::testing::Values(0, 1, 7)));
+
+TEST(EvaluationTimesTest, GridFromStartAndSlide) {
+  EvaluationTimes et(T(45), Duration::FromMinutes(5));
+  EXPECT_EQ(et.at(0), T(45));
+  EXPECT_EQ(et.at(3), T(60));
+  std::vector<Timestamp> due = et.UpTo(T(58));
+  ASSERT_EQ(due.size(), 3u);  // 45, 50, 55.
+  EXPECT_EQ(due.back(), T(55));
+}
+
+TEST(EvaluationTimesTest, NextAfter) {
+  EvaluationTimes et(T(45), Duration::FromMinutes(5));
+  EXPECT_EQ(et.NextAfter(T(10)), T(45));
+  EXPECT_EQ(et.NextAfter(T(45)), T(50));
+  EXPECT_EQ(et.NextAfter(T(52)), T(55));
+  EXPECT_EQ(et.NextAfter(T(55)), T(60));
+}
+
+}  // namespace
+}  // namespace seraph
