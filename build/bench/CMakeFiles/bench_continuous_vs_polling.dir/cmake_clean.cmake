@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuous_vs_polling.dir/bench_continuous_vs_polling.cc.o"
+  "CMakeFiles/bench_continuous_vs_polling.dir/bench_continuous_vs_polling.cc.o.d"
+  "bench_continuous_vs_polling"
+  "bench_continuous_vs_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuous_vs_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

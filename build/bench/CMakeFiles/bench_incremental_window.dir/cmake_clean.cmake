@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_window.dir/bench_incremental_window.cc.o"
+  "CMakeFiles/bench_incremental_window.dir/bench_incremental_window.cc.o.d"
+  "bench_incremental_window"
+  "bench_incremental_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

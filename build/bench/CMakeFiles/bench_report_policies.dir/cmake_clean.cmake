@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_report_policies.dir/bench_report_policies.cc.o"
+  "CMakeFiles/bench_report_policies.dir/bench_report_policies.cc.o.d"
+  "bench_report_policies"
+  "bench_report_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_report_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

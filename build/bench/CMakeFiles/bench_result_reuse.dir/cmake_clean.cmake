@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_result_reuse.dir/bench_result_reuse.cc.o"
+  "CMakeFiles/bench_result_reuse.dir/bench_result_reuse.cc.o.d"
+  "bench_result_reuse"
+  "bench_result_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_result_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

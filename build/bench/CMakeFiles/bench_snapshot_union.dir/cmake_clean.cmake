@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_union.dir/bench_snapshot_union.cc.o"
+  "CMakeFiles/bench_snapshot_union.dir/bench_snapshot_union.cc.o.d"
+  "bench_snapshot_union"
+  "bench_snapshot_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_use_cases.dir/bench_use_cases.cc.o"
+  "CMakeFiles/bench_use_cases.dir/bench_use_cases.cc.o.d"
+  "bench_use_cases"
+  "bench_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

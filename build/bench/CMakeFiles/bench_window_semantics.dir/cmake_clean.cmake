@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_semantics.dir/bench_window_semantics.cc.o"
+  "CMakeFiles/bench_window_semantics.dir/bench_window_semantics.cc.o.d"
+  "bench_window_semantics"
+  "bench_window_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

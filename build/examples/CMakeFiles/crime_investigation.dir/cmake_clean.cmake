@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_investigation.dir/crime_investigation.cc.o"
+  "CMakeFiles/crime_investigation.dir/crime_investigation.cc.o.d"
+  "crime_investigation"
+  "crime_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

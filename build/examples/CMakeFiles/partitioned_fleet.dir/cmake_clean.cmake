@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_fleet.dir/partitioned_fleet.cc.o"
+  "CMakeFiles/partitioned_fleet.dir/partitioned_fleet.cc.o.d"
+  "partitioned_fleet"
+  "partitioned_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_common.dir/logging.cc.o"
+  "CMakeFiles/seraph_common.dir/logging.cc.o.d"
+  "CMakeFiles/seraph_common.dir/metrics.cc.o"
+  "CMakeFiles/seraph_common.dir/metrics.cc.o.d"
+  "CMakeFiles/seraph_common.dir/status.cc.o"
+  "CMakeFiles/seraph_common.dir/status.cc.o.d"
+  "CMakeFiles/seraph_common.dir/strings.cc.o"
+  "CMakeFiles/seraph_common.dir/strings.cc.o.d"
+  "libseraph_common.a"
+  "libseraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cypher/ast.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/ast.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/ast.cc.o.d"
+  "/root/repo/src/cypher/eval.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/eval.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/eval.cc.o.d"
+  "/root/repo/src/cypher/executor.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/executor.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/executor.cc.o.d"
+  "/root/repo/src/cypher/functions.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/functions.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/functions.cc.o.d"
+  "/root/repo/src/cypher/lexer.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/lexer.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/lexer.cc.o.d"
+  "/root/repo/src/cypher/matcher.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/matcher.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/matcher.cc.o.d"
+  "/root/repo/src/cypher/parser.cc" "src/cypher/CMakeFiles/seraph_cypher.dir/parser.cc.o" "gcc" "src/cypher/CMakeFiles/seraph_cypher.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/seraph_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/seraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/seraph_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

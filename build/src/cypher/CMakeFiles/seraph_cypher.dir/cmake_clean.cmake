@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_cypher.dir/ast.cc.o"
+  "CMakeFiles/seraph_cypher.dir/ast.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/eval.cc.o"
+  "CMakeFiles/seraph_cypher.dir/eval.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/executor.cc.o"
+  "CMakeFiles/seraph_cypher.dir/executor.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/functions.cc.o"
+  "CMakeFiles/seraph_cypher.dir/functions.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/lexer.cc.o"
+  "CMakeFiles/seraph_cypher.dir/lexer.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/matcher.cc.o"
+  "CMakeFiles/seraph_cypher.dir/matcher.cc.o.d"
+  "CMakeFiles/seraph_cypher.dir/parser.cc.o"
+  "CMakeFiles/seraph_cypher.dir/parser.cc.o.d"
+  "libseraph_cypher.a"
+  "libseraph_cypher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_cypher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_graph.dir/algorithms.cc.o"
+  "CMakeFiles/seraph_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/seraph_graph.dir/graph_union.cc.o"
+  "CMakeFiles/seraph_graph.dir/graph_union.cc.o.d"
+  "CMakeFiles/seraph_graph.dir/property_graph.cc.o"
+  "CMakeFiles/seraph_graph.dir/property_graph.cc.o.d"
+  "libseraph_graph.a"
+  "libseraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_io.dir/graph_text.cc.o"
+  "CMakeFiles/seraph_io.dir/graph_text.cc.o.d"
+  "CMakeFiles/seraph_io.dir/json.cc.o"
+  "CMakeFiles/seraph_io.dir/json.cc.o.d"
+  "libseraph_io.a"
+  "libseraph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

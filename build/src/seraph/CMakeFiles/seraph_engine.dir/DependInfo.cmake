@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seraph/continuous_engine.cc" "src/seraph/CMakeFiles/seraph_engine.dir/continuous_engine.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/continuous_engine.cc.o.d"
+  "/root/repo/src/seraph/polling_baseline.cc" "src/seraph/CMakeFiles/seraph_engine.dir/polling_baseline.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/polling_baseline.cc.o.d"
+  "/root/repo/src/seraph/seraph_parser.cc" "src/seraph/CMakeFiles/seraph_engine.dir/seraph_parser.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/seraph_parser.cc.o.d"
+  "/root/repo/src/seraph/seraph_query.cc" "src/seraph/CMakeFiles/seraph_engine.dir/seraph_query.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/seraph_query.cc.o.d"
+  "/root/repo/src/seraph/sinks.cc" "src/seraph/CMakeFiles/seraph_engine.dir/sinks.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/sinks.cc.o.d"
+  "/root/repo/src/seraph/stream_driver.cc" "src/seraph/CMakeFiles/seraph_engine.dir/stream_driver.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/stream_driver.cc.o.d"
+  "/root/repo/src/seraph/stream_router.cc" "src/seraph/CMakeFiles/seraph_engine.dir/stream_router.cc.o" "gcc" "src/seraph/CMakeFiles/seraph_engine.dir/stream_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cypher/CMakeFiles/seraph_cypher.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/seraph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/seraph_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/seraph_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/seraph_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/seraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

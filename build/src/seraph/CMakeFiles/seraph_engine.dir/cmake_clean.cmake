@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_engine.dir/continuous_engine.cc.o"
+  "CMakeFiles/seraph_engine.dir/continuous_engine.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/polling_baseline.cc.o"
+  "CMakeFiles/seraph_engine.dir/polling_baseline.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/seraph_parser.cc.o"
+  "CMakeFiles/seraph_engine.dir/seraph_parser.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/seraph_query.cc.o"
+  "CMakeFiles/seraph_engine.dir/seraph_query.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/sinks.cc.o"
+  "CMakeFiles/seraph_engine.dir/sinks.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/stream_driver.cc.o"
+  "CMakeFiles/seraph_engine.dir/stream_driver.cc.o.d"
+  "CMakeFiles/seraph_engine.dir/stream_router.cc.o"
+  "CMakeFiles/seraph_engine.dir/stream_router.cc.o.d"
+  "libseraph_engine.a"
+  "libseraph_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

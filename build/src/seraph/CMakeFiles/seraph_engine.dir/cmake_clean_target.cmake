@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseraph_engine.a"
+)

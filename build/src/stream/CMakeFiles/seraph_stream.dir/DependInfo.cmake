@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/event_queue.cc" "src/stream/CMakeFiles/seraph_stream.dir/event_queue.cc.o" "gcc" "src/stream/CMakeFiles/seraph_stream.dir/event_queue.cc.o.d"
+  "/root/repo/src/stream/graph_stream.cc" "src/stream/CMakeFiles/seraph_stream.dir/graph_stream.cc.o" "gcc" "src/stream/CMakeFiles/seraph_stream.dir/graph_stream.cc.o.d"
+  "/root/repo/src/stream/reorder_buffer.cc" "src/stream/CMakeFiles/seraph_stream.dir/reorder_buffer.cc.o" "gcc" "src/stream/CMakeFiles/seraph_stream.dir/reorder_buffer.cc.o.d"
+  "/root/repo/src/stream/snapshot.cc" "src/stream/CMakeFiles/seraph_stream.dir/snapshot.cc.o" "gcc" "src/stream/CMakeFiles/seraph_stream.dir/snapshot.cc.o.d"
+  "/root/repo/src/stream/window.cc" "src/stream/CMakeFiles/seraph_stream.dir/window.cc.o" "gcc" "src/stream/CMakeFiles/seraph_stream.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/seraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/seraph_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_stream.dir/event_queue.cc.o"
+  "CMakeFiles/seraph_stream.dir/event_queue.cc.o.d"
+  "CMakeFiles/seraph_stream.dir/graph_stream.cc.o"
+  "CMakeFiles/seraph_stream.dir/graph_stream.cc.o.d"
+  "CMakeFiles/seraph_stream.dir/reorder_buffer.cc.o"
+  "CMakeFiles/seraph_stream.dir/reorder_buffer.cc.o.d"
+  "CMakeFiles/seraph_stream.dir/snapshot.cc.o"
+  "CMakeFiles/seraph_stream.dir/snapshot.cc.o.d"
+  "CMakeFiles/seraph_stream.dir/window.cc.o"
+  "CMakeFiles/seraph_stream.dir/window.cc.o.d"
+  "libseraph_stream.a"
+  "libseraph_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

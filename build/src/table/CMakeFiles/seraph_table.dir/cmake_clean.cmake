@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_table.dir/record.cc.o"
+  "CMakeFiles/seraph_table.dir/record.cc.o.d"
+  "CMakeFiles/seraph_table.dir/table.cc.o"
+  "CMakeFiles/seraph_table.dir/table.cc.o.d"
+  "CMakeFiles/seraph_table.dir/time_table.cc.o"
+  "CMakeFiles/seraph_table.dir/time_table.cc.o.d"
+  "libseraph_table.a"
+  "libseraph_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseraph_table.a"
+)

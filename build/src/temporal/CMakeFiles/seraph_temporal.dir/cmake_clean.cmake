@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_temporal.dir/duration.cc.o"
+  "CMakeFiles/seraph_temporal.dir/duration.cc.o.d"
+  "CMakeFiles/seraph_temporal.dir/timestamp.cc.o"
+  "CMakeFiles/seraph_temporal.dir/timestamp.cc.o.d"
+  "libseraph_temporal.a"
+  "libseraph_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

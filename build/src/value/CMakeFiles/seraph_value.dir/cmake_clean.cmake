@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_value.dir/value.cc.o"
+  "CMakeFiles/seraph_value.dir/value.cc.o.d"
+  "libseraph_value.a"
+  "libseraph_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

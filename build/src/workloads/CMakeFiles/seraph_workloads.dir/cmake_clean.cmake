@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_workloads.dir/bike_sharing.cc.o"
+  "CMakeFiles/seraph_workloads.dir/bike_sharing.cc.o.d"
+  "CMakeFiles/seraph_workloads.dir/network.cc.o"
+  "CMakeFiles/seraph_workloads.dir/network.cc.o.d"
+  "CMakeFiles/seraph_workloads.dir/pole.cc.o"
+  "CMakeFiles/seraph_workloads.dir/pole.cc.o.d"
+  "libseraph_workloads.a"
+  "libseraph_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_engine_test.dir/continuous_engine_test.cc.o"
+  "CMakeFiles/continuous_engine_test.dir/continuous_engine_test.cc.o.d"
+  "continuous_engine_test"
+  "continuous_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

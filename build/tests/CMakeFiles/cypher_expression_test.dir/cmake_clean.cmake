@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_expression_test.dir/cypher_expression_test.cc.o"
+  "CMakeFiles/cypher_expression_test.dir/cypher_expression_test.cc.o.d"
+  "cypher_expression_test"
+  "cypher_expression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_expression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

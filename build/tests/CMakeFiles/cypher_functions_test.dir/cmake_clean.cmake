@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_functions_test.dir/cypher_functions_test.cc.o"
+  "CMakeFiles/cypher_functions_test.dir/cypher_functions_test.cc.o.d"
+  "cypher_functions_test"
+  "cypher_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_lexer_test.dir/cypher_lexer_test.cc.o"
+  "CMakeFiles/cypher_lexer_test.dir/cypher_lexer_test.cc.o.d"
+  "cypher_lexer_test"
+  "cypher_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

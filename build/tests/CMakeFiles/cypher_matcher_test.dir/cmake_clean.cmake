@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_matcher_test.dir/cypher_matcher_test.cc.o"
+  "CMakeFiles/cypher_matcher_test.dir/cypher_matcher_test.cc.o.d"
+  "cypher_matcher_test"
+  "cypher_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

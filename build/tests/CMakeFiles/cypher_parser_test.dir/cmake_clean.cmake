@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_parser_test.dir/cypher_parser_test.cc.o"
+  "CMakeFiles/cypher_parser_test.dir/cypher_parser_test.cc.o.d"
+  "cypher_parser_test"
+  "cypher_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_semantics_test.dir/cypher_semantics_test.cc.o"
+  "CMakeFiles/cypher_semantics_test.dir/cypher_semantics_test.cc.o.d"
+  "cypher_semantics_test"
+  "cypher_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

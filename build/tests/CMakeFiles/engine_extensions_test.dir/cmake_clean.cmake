@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extensions_test.dir/engine_extensions_test.cc.o"
+  "CMakeFiles/engine_extensions_test.dir/engine_extensions_test.cc.o.d"
+  "engine_extensions_test"
+  "engine_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

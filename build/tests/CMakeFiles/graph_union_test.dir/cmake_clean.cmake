@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_union_test.dir/graph_union_test.cc.o"
+  "CMakeFiles/graph_union_test.dir/graph_union_test.cc.o.d"
+  "graph_union_test"
+  "graph_union_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

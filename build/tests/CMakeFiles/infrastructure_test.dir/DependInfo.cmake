@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/infrastructure_test.cc" "tests/CMakeFiles/infrastructure_test.dir/infrastructure_test.cc.o" "gcc" "tests/CMakeFiles/infrastructure_test.dir/infrastructure_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seraph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/seraph_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/seraph_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/seraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/seraph_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/cypher/CMakeFiles/seraph_cypher.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/seraph_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/seraph/CMakeFiles/seraph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/seraph_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/seraph_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

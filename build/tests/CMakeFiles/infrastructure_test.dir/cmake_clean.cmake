@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infrastructure_test.dir/infrastructure_test.cc.o"
+  "CMakeFiles/infrastructure_test.dir/infrastructure_test.cc.o.d"
+  "infrastructure_test"
+  "infrastructure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infrastructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_parser_test.dir/seraph_parser_test.cc.o"
+  "CMakeFiles/seraph_parser_test.dir/seraph_parser_test.cc.o.d"
+  "seraph_parser_test"
+  "seraph_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

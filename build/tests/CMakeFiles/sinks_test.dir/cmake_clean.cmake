@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinks_test.dir/sinks_test.cc.o"
+  "CMakeFiles/sinks_test.dir/sinks_test.cc.o.d"
+  "sinks_test"
+  "sinks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_reducibility_test.dir/snapshot_reducibility_test.cc.o"
+  "CMakeFiles/snapshot_reducibility_test.dir/snapshot_reducibility_test.cc.o.d"
+  "snapshot_reducibility_test"
+  "snapshot_reducibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_reducibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

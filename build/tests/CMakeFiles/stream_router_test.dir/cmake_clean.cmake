@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_router_test.dir/stream_router_test.cc.o"
+  "CMakeFiles/stream_router_test.dir/stream_router_test.cc.o.d"
+  "stream_router_test"
+  "stream_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_case_crime_test.dir/use_case_crime_test.cc.o"
+  "CMakeFiles/use_case_crime_test.dir/use_case_crime_test.cc.o.d"
+  "use_case_crime_test"
+  "use_case_crime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_case_crime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

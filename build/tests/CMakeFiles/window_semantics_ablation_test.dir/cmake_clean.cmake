@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_semantics_ablation_test.dir/window_semantics_ablation_test.cc.o"
+  "CMakeFiles/window_semantics_ablation_test.dir/window_semantics_ablation_test.cc.o.d"
+  "window_semantics_ablation_test"
+  "window_semantics_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_semantics_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seraph_run.dir/seraph_run.cc.o"
+  "CMakeFiles/seraph_run.dir/seraph_run.cc.o.d"
+  "seraph_run"
+  "seraph_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seraph_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

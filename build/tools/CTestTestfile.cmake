@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(seraph_run_smoke "/root/repo/build/tools/seraph_run" "/root/repo/tools/testdata/student_trick.seraph" "/root/repo/tools/testdata/figure1_events.log" "--stats")
+set_tests_properties(seraph_run_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "5678" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(seraph_run_csv "/root/repo/build/tools/seraph_run" "/root/repo/tools/testdata/student_trick.seraph" "/root/repo/tools/testdata/figure1_events.log" "--csv")
+set_tests_properties(seraph_run_csv PROPERTIES  PASS_REGULAR_EXPRESSION "query,evaluation_time,win_start,win_end" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(seraph_run_usage "/root/repo/build/tools/seraph_run" "--help")
+set_tests_properties(seraph_run_usage PROPERTIES  PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(seraph_run_json "/root/repo/build/tools/seraph_run" "/root/repo/tools/testdata/student_trick.seraph" "/root/repo/tools/testdata/figure1_events.log" "--json")
+set_tests_properties(seraph_run_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"query\":\"student_trick\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
