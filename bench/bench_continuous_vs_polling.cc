@@ -9,6 +9,9 @@
 // length. The baseline also re-reports standing results (no ON ENTERING).
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "bench_observability.h"
 #include "cypher/parser.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/polling_baseline.h"
@@ -48,15 +51,16 @@ std::vector<workloads::Event> MakeEvents(int count) {
 void BM_NativeContinuous(benchmark::State& state) {
   auto events = MakeEvents(static_cast<int>(state.range(0)));
   int64_t rows = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
-    ContinuousEngine engine;
+    engine.emplace();
     CountingSink sink;
-    engine.AddSink(&sink);
-    (void)engine.RegisterText(kSeraphQuery);
+    engine->AddSink(&sink);
+    (void)engine->RegisterText(kSeraphQuery);
     for (const auto& event : events) {
-      (void)engine.Ingest(event.graph, event.timestamp);
+      (void)engine->Ingest(event.graph, event.timestamp);
     }
-    if (!engine.Drain().ok()) {
+    if (!engine->Drain().ok()) {
       state.SkipWithError("drain failed");
       return;
     }
@@ -64,6 +68,9 @@ void BM_NativeContinuous(benchmark::State& state) {
   }
   state.counters["rows_per_run"] =
       static_cast<double>(rows) / state.iterations();
+  if (engine.has_value()) {
+    benchsupport::AddStageCounters(state, *engine, "rentals");
+  }
   state.SetLabel("native/" + std::to_string(state.range(0)) + "events");
 }
 BENCHMARK(BM_NativeContinuous)->Arg(24)->Arg(48)->Arg(96)

@@ -1,0 +1,59 @@
+// Shared bench plumbing for the engine's observability layer: fold the
+// per-stage pipeline breakdown into google-benchmark user counters (so
+// `--benchmark_format=json` / BENCH_*.json rows carry stage costs, not
+// just wall time) and dump the whole metrics registry as a tagged JSON
+// line on stderr for ad-hoc inspection.
+#ifndef SERAPH_BENCH_BENCH_OBSERVABILITY_H_
+#define SERAPH_BENCH_BENCH_OBSERVABILITY_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "seraph/continuous_engine.h"
+
+namespace seraph {
+namespace benchsupport {
+
+// Merges `query`'s stage breakdown (from the given engine — typically the
+// last instance a bench iteration built) into the benchmark's user
+// counters as per-evaluation averages. With an empty `query`, uses the
+// engine's first registered query.
+inline void AddStageCounters(benchmark::State& state,
+                             const ContinuousEngine& engine,
+                             std::string query = "") {
+  if (query.empty()) {
+    auto names = engine.QueryNames();
+    if (names.empty()) return;
+    query = names.front();
+  }
+  auto stats = engine.StatsFor(query);
+  if (!stats.ok() || stats->evaluations == 0) return;
+  const double evals = static_cast<double>(stats->evaluations);
+  state.counters["stage_window_us"] =
+      static_cast<double>(stats->window_micros) / evals;
+  state.counters["stage_snapshot_us"] =
+      static_cast<double>(stats->snapshot_micros) / evals;
+  state.counters["stage_match_us"] =
+      static_cast<double>(stats->match_micros) / evals;
+  state.counters["stage_policy_us"] =
+      static_cast<double>(stats->policy_micros) / evals;
+  state.counters["stage_sink_us"] =
+      static_cast<double>(stats->sink_micros) / evals;
+  state.counters["reuse_rate"] =
+      static_cast<double>(stats->reused_results) / evals;
+}
+
+// One tagged JSON line on stderr (stdout belongs to the benchmark
+// reporter): `SERAPH_ENGINE_METRICS <tag> {...}`.
+inline void DumpEngineMetricsJson(const ContinuousEngine& engine,
+                                  const std::string& tag) {
+  std::cerr << "SERAPH_ENGINE_METRICS " << tag << " "
+            << engine.metrics().ToJson() << "\n";
+}
+
+}  // namespace benchsupport
+}  // namespace seraph
+
+#endif  // SERAPH_BENCH_BENCH_OBSERVABILITY_H_

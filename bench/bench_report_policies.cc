@@ -4,6 +4,9 @@
 // pay one bag difference per evaluation but emit only changes.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "bench_observability.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/sinks.h"
 #include "workloads/bike_sharing.h"
@@ -37,23 +40,27 @@ void BM_ReportPolicy(benchmark::State& state) {
 
   int64_t rows = 0;
   int64_t evals = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
-    ContinuousEngine engine;
+    engine.emplace();
     CountingSink sink;
-    engine.AddSink(&sink);
-    if (!engine.RegisterText(QueryWithPolicy(policy)).ok()) {
+    engine->AddSink(&sink);
+    if (!engine->RegisterText(QueryWithPolicy(policy)).ok()) {
       state.SkipWithError("register failed");
       return;
     }
     for (const auto& event : events) {
-      (void)engine.Ingest(event.graph, event.timestamp);
+      (void)engine->Ingest(event.graph, event.timestamp);
     }
-    if (!engine.Drain().ok()) {
+    if (!engine->Drain().ok()) {
       state.SkipWithError("drain failed");
       return;
     }
     rows += sink.rows();
     evals += sink.evaluations();
+  }
+  if (engine.has_value()) {
+    benchsupport::AddStageCounters(state, *engine, "pq");
   }
   state.counters["rows_emitted_per_run"] =
       state.iterations() > 0

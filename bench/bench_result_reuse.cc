@@ -4,6 +4,9 @@
 // evaluations skip matching entirely.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "bench_observability.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/sinks.h"
 #include "workloads/bike_sharing.h"
@@ -36,13 +39,14 @@ void BM_BurstyStream(benchmark::State& state) {
   auto events = BurstyStream(4, quiet);
   int64_t reused = 0;
   int64_t evals = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
     EngineOptions options;
     options.reuse_unchanged_windows = reuse;
-    ContinuousEngine engine(options);
+    engine.emplace(options);
     CountingSink sink;
-    engine.AddSink(&sink);
-    (void)engine.RegisterText(R"(
+    engine->AddSink(&sink);
+    (void)engine->RegisterText(R"(
       REGISTER QUERY q STARTING AT '1970-01-01T00:05'
       {
         MATCH (b:Bike)-[r:rentedAt]->(s:Station)
@@ -50,19 +54,22 @@ void BM_BurstyStream(benchmark::State& state) {
         EMIT r.user_id, s.id ON ENTERING EVERY PT1M
       })");
     for (const auto& event : events) {
-      (void)engine.Ingest(event.graph, event.timestamp);
+      (void)engine->Ingest(event.graph, event.timestamp);
     }
-    if (!engine.Drain().ok()) {
+    if (!engine->Drain().ok()) {
       state.SkipWithError("drain failed");
       return;
     }
-    QueryStats stats = *engine.StatsFor("q");
+    QueryStats stats = *engine->StatsFor("q");
     reused += stats.reused_results;
     evals += stats.evaluations;
   }
   state.counters["evaluations"] =
       static_cast<double>(evals) / state.iterations();
   state.counters["reused"] = static_cast<double>(reused) / state.iterations();
+  if (engine.has_value()) {
+    benchsupport::AddStageCounters(state, *engine, "q");
+  }
   state.SetLabel(std::string(reuse ? "reuse" : "no_reuse") + "/quiet=" +
                  std::to_string(quiet) + "m");
 }

@@ -7,7 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <optional>
 
+#include "bench_observability.h"
+#include "common/trace.h"
 #include "cypher/executor.h"
 #include "cypher/parser.h"
 #include "seraph/continuous_engine.h"
@@ -51,6 +54,9 @@ void PrintReproducedTables() {
                      .ToAsciiTable({"r.user_id", "s.id", "r.val_time",
                                     "hops", "win_start", "win_end"});
   }
+  // Stage breakdown of the replay above, as one JSON line on stderr, so
+  // the bench log records where pipeline time went.
+  benchsupport::DumpEngineMetricsJson(engine, "running_example_replay");
 }
 
 // Table 2: one-time Cypher query over the merged store.
@@ -77,9 +83,45 @@ void BM_Tables5and6_ContinuousReplay(benchmark::State& state) {
   std::vector<workloads::Event> events =
       workloads::BuildRunningExampleStream();
   int64_t rows = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
     EngineOptions options;
     options.incremental_snapshots = incremental;
+    engine.emplace(options);
+    CollectingSink sink;
+    engine->AddSink(&sink);
+    (void)engine->RegisterText(workloads::RunningExampleSeraphQuery());
+    for (const auto& event : events) {
+      (void)engine->Ingest(event.graph, event.timestamp);
+    }
+    (void)engine->Drain();
+    for (const auto& entry : sink.ResultsFor("student_trick").entries()) {
+      rows += static_cast<int64_t>(entry.table.size());
+    }
+  }
+  state.counters["rows_per_replay"] =
+      static_cast<double>(rows) / state.iterations();
+  if (engine.has_value()) {
+    benchsupport::AddStageCounters(state, *engine, "student_trick");
+  }
+  state.SetLabel(incremental ? "incremental" : "rebuild");
+}
+BENCHMARK(BM_Tables5and6_ContinuousReplay)->Arg(0)->Arg(1);
+
+// Observability overhead guard: the full continuous replay with (0) no
+// recorder attached, (1) a recorder attached but disabled — the
+// always-on-metrics default — and (2) tracing fully enabled. The
+// acceptance bar is (1) within noise (<2%) of (0); compare the two rows
+// in the timing output.
+void BM_TracingOverheadGuard(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));
+  std::vector<workloads::Event> events =
+      workloads::BuildRunningExampleStream();
+  TraceRecorder recorder;
+  if (mode == 2) recorder.Enable();
+  for (auto _ : state) {
+    EngineOptions options;
+    if (mode >= 1) options.tracer = &recorder;
     ContinuousEngine engine(options);
     CollectingSink sink;
     engine.AddSink(&sink);
@@ -88,15 +130,18 @@ void BM_Tables5and6_ContinuousReplay(benchmark::State& state) {
       (void)engine.Ingest(event.graph, event.timestamp);
     }
     (void)engine.Drain();
-    for (const auto& entry : sink.ResultsFor("student_trick").entries()) {
-      rows += static_cast<int64_t>(entry.table.size());
+    benchmark::DoNotOptimize(engine);
+    if (mode == 2) {
+      state.counters["trace_events"] =
+          static_cast<double>(recorder.size());
+      recorder.Clear();
     }
   }
-  state.counters["rows_per_replay"] =
-      static_cast<double>(rows) / state.iterations();
-  state.SetLabel(incremental ? "incremental" : "rebuild");
+  state.SetLabel(mode == 0   ? "no_recorder"
+                 : mode == 1 ? "disabled_recorder"
+                             : "enabled_recorder");
 }
-BENCHMARK(BM_Tables5and6_ContinuousReplay)->Arg(0)->Arg(1);
+BENCHMARK(BM_TracingOverheadGuard)->Arg(0)->Arg(1)->Arg(2);
 
 // Parsing the two canonical queries.
 void BM_ParseListing1(benchmark::State& state) {

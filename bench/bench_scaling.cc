@@ -3,6 +3,9 @@
 // pathological pattern blow-ups, so the window machinery dominates).
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "bench_observability.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/sinks.h"
 #include "workloads/bike_sharing.h"
@@ -31,22 +34,24 @@ void Drive(const std::string& query,
            const std::vector<workloads::Event>& events,
            benchmark::State& state) {
   int64_t evals = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
-    ContinuousEngine engine;
+    engine.emplace();
     CountingSink sink;
-    engine.AddSink(&sink);
-    (void)engine.RegisterText(query);
+    engine->AddSink(&sink);
+    (void)engine->RegisterText(query);
     for (const auto& event : events) {
-      (void)engine.Ingest(event.graph, event.timestamp);
+      (void)engine->Ingest(event.graph, event.timestamp);
     }
-    if (!engine.Drain().ok()) {
+    if (!engine->Drain().ok()) {
       state.SkipWithError("drain failed");
       return;
     }
-    evals += engine.evaluations_run();
+    evals += engine->evaluations_run();
   }
   state.counters["evaluations_per_run"] =
       static_cast<double>(evals) / state.iterations();
+  if (engine.has_value()) benchsupport::AddStageCounters(state, *engine);
 }
 
 void BM_WindowWidthSweep(benchmark::State& state) {

@@ -3,6 +3,9 @@
 // reconstruction, shortestPath + z-score), and POLE surveillance.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "bench_observability.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/sinks.h"
 #include "workloads/bike_sharing.h"
@@ -17,23 +20,25 @@ void RunStream(const std::string& query,
                const std::vector<workloads::Event>& events,
                benchmark::State& state) {
   int64_t rows = 0;
+  std::optional<ContinuousEngine> engine;
   for (auto _ : state) {
-    ContinuousEngine engine;
+    engine.emplace();
     CountingSink sink;
-    engine.AddSink(&sink);
-    if (!engine.RegisterText(query).ok()) {
+    engine->AddSink(&sink);
+    if (!engine->RegisterText(query).ok()) {
       state.SkipWithError("register failed");
       return;
     }
     for (const auto& event : events) {
-      (void)engine.Ingest(event.graph, event.timestamp);
+      (void)engine->Ingest(event.graph, event.timestamp);
     }
-    if (!engine.Drain().ok()) {
+    if (!engine->Drain().ok()) {
       state.SkipWithError("drain failed");
       return;
     }
     rows += sink.rows();
   }
+  if (engine.has_value()) benchsupport::AddStageCounters(state, *engine);
   state.counters["alert_rows_per_run"] =
       static_cast<double>(rows) / state.iterations();
   int64_t elements = 0;

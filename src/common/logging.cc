@@ -1,9 +1,12 @@
 #include "common/logging.h"
 
+#include <cctype>
+
 namespace seraph {
 namespace internal_logging {
 
 namespace {
+
 const char* SeverityTag(Severity s) {
   switch (s) {
     case Severity::kInfo:
@@ -17,17 +20,65 @@ const char* SeverityTag(Severity s) {
   }
   return "?";
 }
-}  // namespace
 
-LogMessage::LogMessage(Severity severity, const char* file, int line)
-    : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
-          << "] ";
+// Parses SERAPH_LOG_LEVEL: severity names (case-insensitive) or the
+// numeric values 0..3. Unset / unrecognized → INFO.
+Severity SeverityFromEnv() {
+  const char* raw = std::getenv("SERAPH_LOG_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return Severity::kInfo;
+  std::string level;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    level += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(*p)));
+  }
+  if (level == "INFO" || level == "0") return Severity::kInfo;
+  if (level == "WARNING" || level == "WARN" || level == "1") {
+    return Severity::kWarning;
+  }
+  if (level == "ERROR" || level == "2") return Severity::kError;
+  if (level == "FATAL" || level == "3") return Severity::kFatal;
+  return Severity::kInfo;
 }
 
+Severity& MinSeverityRef() {
+  static Severity min_severity = SeverityFromEnv();
+  return min_severity;
+}
+
+LogSink& SinkRef() {
+  static LogSink* sink = new LogSink();  // Empty = default stderr writer.
+  return *sink;
+}
+
+void DefaultWrite(Severity severity, const char* file, int line,
+                  const std::string& message) {
+  std::cerr << "[" << SeverityTag(severity) << " " << file << ":" << line
+            << "] " << message << "\n";
+}
+
+}  // namespace
+
+Severity MinLogSeverity() { return MinSeverityRef(); }
+
+void SetMinLogSeverity(Severity severity) { MinSeverityRef() = severity; }
+
+void SetLogSink(LogSink sink) { SinkRef() = std::move(sink); }
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity),
+      file_(file),
+      line_(line),
+      enabled_(severity >= MinLogSeverity()) {}
+
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  std::cerr << stream_.str();
+  if (enabled_) {
+    const LogSink& sink = SinkRef();
+    if (sink) {
+      sink(severity_, file_, line_, stream_.str());
+    } else {
+      DefaultWrite(severity_, file_, line_, stream_.str());
+    }
+  }
   if (severity_ == Severity::kFatal) {
     std::cerr.flush();
     std::abort();

@@ -1,11 +1,23 @@
 // Minimal logging and invariant-checking facilities.
 //
 // SERAPH_CHECK(cond) << "context";   // aborts on violation
+// SERAPH_DCHECK(cond) << "context";  // debug-only (no-op under NDEBUG)
 // SERAPH_LOG(INFO) << "message";     // severity-tagged stderr logging
+//
+// The minimum emitted severity defaults to INFO and is configurable via
+// the SERAPH_LOG_LEVEL environment variable (INFO / WARNING / ERROR /
+// FATAL, case-insensitive, read once at first use) or programmatically
+// with SetMinLogSeverity. Messages below the minimum are dropped without
+// being formatted. FATAL always aborts, whatever the minimum.
+//
+// Log delivery is pluggable: SetLogSink replaces the default stderr
+// writer (tests use this to capture log lines); passing nullptr restores
+// the default.
 #ifndef SERAPH_COMMON_LOGGING_H_
 #define SERAPH_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -13,10 +25,36 @@
 namespace seraph {
 namespace internal_logging {
 
-enum class Severity { kInfo, kWarning, kError, kFatal };
+// The ALL-CAPS enumerators alias the canonical ones so the SERAPH_LOG
+// macro's token paste (`k##severity` with SERAPH_LOG(INFO)) resolves —
+// the seed macro was unusable without them.
+enum class Severity {
+  kInfo,
+  kWarning,
+  kError,
+  kFatal,
+  kINFO = kInfo,
+  kWARNING = kWarning,
+  kERROR = kError,
+  kFATAL = kFatal,
+};
 
-// Accumulates one log line and flushes it (to stderr) on destruction.
-// Fatal messages abort the process.
+// Receives every emitted log line (already severity-filtered). `message`
+// is the body without the "[I file:line]" prefix or trailing newline.
+using LogSink =
+    std::function<void(Severity severity, const char* file, int line,
+                       const std::string& message)>;
+
+// Minimum severity that is delivered; below it, messages are dropped.
+Severity MinLogSeverity();
+void SetMinLogSeverity(Severity severity);
+
+// Replaces the stderr sink; nullptr restores the default. Fatal messages
+// still abort after the sink runs.
+void SetLogSink(LogSink sink);
+
+// Accumulates one log line and flushes it (to the active sink) on
+// destruction. Fatal messages abort the process.
 class LogMessage {
  public:
   LogMessage(Severity severity, const char* file, int line);
@@ -27,12 +65,15 @@ class LogMessage {
 
   template <typename T>
   LogMessage& operator<<(const T& v) {
-    stream_ << v;
+    if (enabled_) stream_ << v;
     return *this;
   }
 
  private:
   Severity severity_;
+  const char* file_;
+  int line_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 
@@ -59,6 +100,20 @@ struct Voidify {
                     __FILE__, __LINE__)                                   \
                 << "Check failed: " #cond " ")
 
+// Debug-only check: under NDEBUG the condition is parsed but never
+// evaluated (`true || (cond)` short-circuits), so it and the streamed
+// message compile away entirely.
+#ifdef NDEBUG
+#define SERAPH_DCHECK(cond)                                               \
+  (true || (cond)) ? (void)0                                              \
+                   : ::seraph::internal_logging::Voidify() &              \
+                         (::seraph::internal_logging::LogMessage(         \
+                              ::seraph::internal_logging::Severity::      \
+                                  kFatal,                                 \
+                              __FILE__, __LINE__)                         \
+                          << "")
+#else
 #define SERAPH_DCHECK(cond) SERAPH_CHECK(cond)
+#endif
 
 #endif  // SERAPH_COMMON_LOGGING_H_

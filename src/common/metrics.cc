@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/logging.h"
+
 namespace seraph {
 
 namespace {
@@ -20,7 +22,101 @@ int BucketIndex(int64_t value) {
 
 int64_t BucketLow(int index) { return int64_t{1} << index; }
 
+// Escapes a Prometheus label value: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Escapes a JSON string body (enough for metric/label names and values).
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels,
+                         const MetricLabels& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto* set : {&labels, &extra}) {
+    for (const auto& [key, value] : *set) {
+      if (!first) out += ",";
+      first = false;
+      out += key + "=\"" + EscapeLabelValue(value) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonLabelsObject(const MetricLabels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(key) + "\":\"" + EscapeJson(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
 
 void Histogram::Record(int64_t value) {
   if (value < 0) value = 0;
@@ -61,6 +157,7 @@ int64_t Histogram::Percentile(double p) const {
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.count = count_;
+  snap.sum = sum_;
   snap.min = min_;
   snap.max = max_;
   snap.mean = count_ == 0 ? 0.0
@@ -82,6 +179,176 @@ std::string HistogramSnapshot::ToString() const {
                 static_cast<long long>(p90), static_cast<long long>(p99),
                 static_cast<long long>(max));
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+std::string RenderMetricName(const std::string& name,
+                             const MetricLabels& labels,
+                             const MetricLabels& extra) {
+  return name + RenderLabels(labels, extra);
+}
+
+MetricsRegistry::Series* MetricsRegistry::SeriesFor(
+    const std::string& name, const MetricLabels& labels, Kind kind) {
+  auto [fit, created] = families_.try_emplace(name);
+  Family& family = fit->second;
+  if (created) family.kind = kind;
+  SERAPH_CHECK(family.kind == kind)
+      << "metric family '" << name << "' registered with two kinds";
+  std::string key = RenderLabels(labels, {});
+  auto [sit, series_created] = family.series.try_emplace(std::move(key));
+  Series& series = sit->second;
+  if (series_created) {
+    series.labels = labels;
+    switch (kind) {
+      case Kind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        series.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &series;
+}
+
+const MetricsRegistry::Series* MetricsRegistry::FindSeries(
+    const std::string& name, const MetricLabels& labels, Kind kind) const {
+  auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.kind != kind) return nullptr;
+  auto sit = fit->second.series.find(RenderLabels(labels, {}));
+  return sit == fit->second.series.end() ? nullptr : &sit->second;
+}
+
+Counter* MetricsRegistry::CounterFor(const std::string& name,
+                                     const MetricLabels& labels) {
+  return SeriesFor(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GaugeFor(const std::string& name,
+                                 const MetricLabels& labels) {
+  return SeriesFor(name, labels, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::HistogramFor(const std::string& name,
+                                         const MetricLabels& labels) {
+  return SeriesFor(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const MetricLabels& labels) const {
+  const Series* s = FindSeries(name, labels, Kind::kCounter);
+  return s == nullptr ? nullptr : s->counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const MetricLabels& labels) const {
+  const Series* s = FindSeries(name, labels, Kind::kGauge);
+  return s == nullptr ? nullptr : s->gauge.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const MetricLabels& labels) const {
+  const Series* s = FindSeries(name, labels, Kind::kHistogram);
+  return s == nullptr ? nullptr : s->histogram.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, family] : families_) {
+    for (auto& [key, series] : family.series) {
+      if (series.counter != nullptr) series.counter->Reset();
+      if (series.gauge != nullptr) series.gauge->Reset();
+      if (series.histogram != nullptr) series.histogram->Reset();
+    }
+  }
+}
+
+size_t MetricsRegistry::series_count() const {
+  size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "# TYPE " + name + " summary\n";
+        break;
+    }
+    for (const auto& [key, series] : family.series) {
+      if (family.kind == Kind::kCounter) {
+        out += name + key + " " + std::to_string(series.counter->value()) +
+               "\n";
+      } else if (family.kind == Kind::kGauge) {
+        out += name + key + " " + std::to_string(series.gauge->value()) +
+               "\n";
+      } else {
+        HistogramSnapshot snap = series.histogram->Snapshot();
+        for (auto [q, v] : {std::pair<const char*, int64_t>{"0.5", snap.p50},
+                            {"0.9", snap.p90},
+                            {"0.99", snap.p99}}) {
+          out += RenderMetricName(name, series.labels,
+                                  {{"quantile", q}}) +
+                 " " + std::to_string(v) + "\n";
+        }
+        out += name + "_sum" + key + " " + std::to_string(snap.sum) + "\n";
+        out += name + "_count" + key + " " + std::to_string(snap.count) +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string counters, gauges, histograms;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      std::string entry = "{\"name\":\"" + EscapeJson(name) +
+                          "\",\"labels\":" + JsonLabelsObject(series.labels);
+      switch (family.kind) {
+        case Kind::kCounter:
+          if (!counters.empty()) counters += ",";
+          counters += entry + ",\"value\":" +
+                      std::to_string(series.counter->value()) + "}";
+          break;
+        case Kind::kGauge:
+          if (!gauges.empty()) gauges += ",";
+          gauges += entry + ",\"value\":" +
+                    std::to_string(series.gauge->value()) + "}";
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot snap = series.histogram->Snapshot();
+          if (!histograms.empty()) histograms += ",";
+          histograms += entry + ",\"count\":" + std::to_string(snap.count) +
+                        ",\"sum\":" + std::to_string(snap.sum) +
+                        ",\"min\":" + std::to_string(snap.min) +
+                        ",\"max\":" + std::to_string(snap.max) +
+                        ",\"mean\":" + FormatDouble(snap.mean) +
+                        ",\"p50\":" + std::to_string(snap.p50) +
+                        ",\"p90\":" + std::to_string(snap.p90) +
+                        ",\"p99\":" + std::to_string(snap.p99) + "}";
+          break;
+        }
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
 }
 
 }  // namespace seraph

@@ -1,18 +1,29 @@
-// Lightweight metrics primitives (RocksDB-Statistics-style): counters and
-// fixed-bucket exponential histograms, used for per-query evaluation
-// latency tracking in the continuous engine.
+// Lightweight metrics primitives (RocksDB-Statistics / Prometheus-client
+// style): counters, gauges, and fixed-bucket exponential histograms,
+// organized into a named MetricsRegistry with Prometheus-text and JSON
+// exposition. The continuous engine owns one registry and attributes cost
+// to every stage of the Fig. 5 pipeline through it (see
+// docs/INTERNALS.md, "Observability").
+//
+// None of this is thread-safe: the engine is single-threaded by design,
+// and exposition is expected to happen between evaluations.
 #ifndef SERAPH_COMMON_METRICS_H_
 #define SERAPH_COMMON_METRICS_H_
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace seraph {
 
 // Snapshot of a histogram's state (value semantics, safe to return).
 struct HistogramSnapshot {
   int64_t count = 0;
+  int64_t sum = 0;
   int64_t min = 0;
   int64_t max = 0;
   double mean = 0.0;
@@ -26,7 +37,6 @@ struct HistogramSnapshot {
 // A histogram over non-negative integer samples (e.g. microseconds) with
 // power-of-two buckets: bucket i holds samples in [2^i, 2^(i+1)).
 // Percentiles are estimated by linear interpolation inside the bucket.
-// Not thread-safe (the engine is single-threaded by design).
 class Histogram {
  public:
   static constexpr int kBuckets = 48;
@@ -34,6 +44,7 @@ class Histogram {
   void Record(int64_t value);
 
   int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
   HistogramSnapshot Snapshot() const;
   void Reset();
 
@@ -46,6 +57,110 @@ class Histogram {
   int64_t min_ = 0;
   int64_t max_ = 0;
 };
+
+// A monotonically increasing count of events.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// A point-in-time level that can move both ways.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// One `key="value"` metric dimension. Order matters for identity: the
+// same label set in a different order names a different series (callers
+// are expected to be consistent, which the engine is).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// A named collection of instruments. `*For` calls find-or-create the
+// series for (name, labels) and return a stable pointer the caller may
+// cache; the registry owns every instrument. A metric family (one name)
+// must hold one instrument kind only — asking for a counter under a name
+// already used by a histogram is a programming error (checked).
+//
+// Naming follows Prometheus conventions: `seraph_<subsystem>_<what>`,
+// `_total` suffix for counters, base-unit suffix (`_micros`, `_rows`) for
+// histograms/gauges.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* CounterFor(const std::string& name,
+                      const MetricLabels& labels = {});
+  Gauge* GaugeFor(const std::string& name, const MetricLabels& labels = {});
+  Histogram* HistogramFor(const std::string& name,
+                          const MetricLabels& labels = {});
+
+  // Lookup without creating; nullptr when the series does not exist.
+  const Counter* FindCounter(const std::string& name,
+                             const MetricLabels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const MetricLabels& labels = {}) const;
+
+  // Prometheus text exposition format, families in name order, one
+  // `# TYPE` line per family. Histograms render as summaries (quantile
+  // series plus `_sum` / `_count`).
+  std::string ToPrometheusText() const;
+
+  // {"counters": [...], "gauges": [...], "histograms": [...]}; every
+  // entry carries {"name", "labels": {...}} plus its value(s).
+  std::string ToJson() const;
+
+  // Zeroes every instrument but keeps the series registered (cached
+  // pointers stay valid).
+  void Reset();
+
+  // Number of registered series across all families (for tests).
+  size_t series_count() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind;
+    // Keyed by the rendered label string (`k="v",...`), so exposition is
+    // deterministic.
+    std::map<std::string, Series> series;
+  };
+
+  Series* SeriesFor(const std::string& name, const MetricLabels& labels,
+                    Kind kind);
+  const Series* FindSeries(const std::string& name, const MetricLabels& labels,
+                           Kind kind) const;
+
+  std::map<std::string, Family> families_;
+};
+
+// Renders `name{k="v",...}` (or just `name` without labels), escaping
+// label values per the Prometheus text format. `extra` labels are
+// appended after `labels` (used for quantile series).
+std::string RenderMetricName(const std::string& name,
+                             const MetricLabels& labels,
+                             const MetricLabels& extra = {});
 
 }  // namespace seraph
 

@@ -1,0 +1,133 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace seraph {
+
+namespace {
+
+// Escapes a JSON string body.
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(const TraceRecorder::Event& event, std::string* out) {
+  *out += "{\"name\":\"";
+  AppendEscaped(event.name, out);
+  *out += "\",\"cat\":\"";
+  AppendEscaped(event.category, out);
+  *out += "\",\"ph\":\"";
+  *out += event.phase;
+  *out += "\",\"ts\":" + std::to_string(event.ts_micros);
+  if (event.phase == 'X') {
+    *out += ",\"dur\":" + std::to_string(event.dur_micros);
+  }
+  if (event.phase == 'i') {
+    // Instant events need a scope; "t" = thread.
+    *out += ",\"s\":\"t\"";
+  }
+  *out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+  if (!event.args.empty()) {
+    *out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : event.args) {
+      if (!first) *out += ",";
+      first = false;
+      *out += "\"";
+      AppendEscaped(key, out);
+      *out += "\":\"";
+      AppendEscaped(value, out);
+      *out += "\"";
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+int64_t TraceRecorder::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRecorder::AddComplete(std::string name, std::string category,
+                                int64_t start_micros, int64_t dur_micros,
+                                TraceArgs args) {
+  if (!enabled_) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts_micros = start_micros;
+  event.dur_micros = dur_micros;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category,
+                               int64_t ts_micros, TraceArgs args) {
+  if (!enabled_) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.ts_micros = ts_micros;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    AppendEvent(event, &out);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  out << ToJson() << "\n";
+  if (!out.good()) {
+    return Status::Internal("failed writing trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace seraph

@@ -1,0 +1,127 @@
+// Lightweight pipeline tracing producing Chrome trace-event JSON (the
+// format consumed by chrome://tracing and Perfetto's legacy importer):
+// an array of {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+// objects under a top-level "traceEvents" key.
+//
+// Usage:
+//   TraceRecorder recorder;
+//   recorder.Enable();
+//   {
+//     TraceSpan span(&recorder, "match", "engine");
+//     span.AddArg("query", "student_trick");
+//     ...work...
+//   }  // complete event recorded on scope exit
+//   recorder.WriteJsonFile("trace.json");
+//
+// Overhead when disabled is one pointer/bool test per span — a TraceSpan
+// constructed against a null or disabled recorder never reads the clock
+// and records nothing, so instrumented hot paths stay cheap (guarded by
+// a benchmark in bench_running_example).
+//
+// Not thread-safe (the engine is single-threaded by design); events carry
+// a caller-settable tid so future multi-shard engines can still produce
+// one merged trace.
+#ifndef SERAPH_COMMON_TRACE_H_
+#define SERAPH_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace seraph {
+
+// String key/value pairs attached to a trace event ("args" in the trace
+// viewer's detail pane).
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase = 'X';    // 'X' complete, 'i' instant.
+    int64_t ts_micros = 0;
+    int64_t dur_micros = 0;  // Complete events only.
+    int64_t tid = 0;
+    TraceArgs args;
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Microseconds on the steady clock (same timebase as the recorded
+  // events; differences are meaningful, absolute values are not).
+  static int64_t NowMicros();
+
+  // A duration event spanning [start, start + dur). No-op when disabled.
+  void AddComplete(std::string name, std::string category,
+                   int64_t start_micros, int64_t dur_micros,
+                   TraceArgs args = {});
+
+  // A zero-duration marker at `ts`. No-op when disabled.
+  void AddInstant(std::string name, std::string category, int64_t ts_micros,
+                  TraceArgs args = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+// RAII span: records a complete event covering its own lifetime. Against
+// a null or disabled recorder it does nothing (and never reads the
+// clock).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                             : nullptr),
+        name_(name),
+        category_(category) {
+    if (recorder_ != nullptr) start_micros_ = TraceRecorder::NowMicros();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->AddComplete(name_, category_, start_micros_,
+                           TraceRecorder::NowMicros() - start_micros_,
+                           std::move(args_));
+  }
+
+  // Attached to the event on destruction. No-op when not recording.
+  void AddArg(std::string key, std::string value) {
+    if (recorder_ == nullptr) return;
+    args_.emplace_back(std::move(key), std::move(value));
+  }
+
+  bool recording() const { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  int64_t start_micros_ = 0;
+  TraceArgs args_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_TRACE_H_

@@ -1,7 +1,6 @@
 #include "seraph/continuous_engine.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
 #include "cypher/executor.h"
@@ -41,6 +40,27 @@ std::optional<TimeAnnotatedTable> CollectingSink::ResultAt(
 // Engine internals
 // ---------------------------------------------------------------------------
 
+// Cached registry handles for one query's observability series, resolved
+// once at Register so the evaluation hot path never does a name lookup.
+struct QueryMetricHandles {
+  Counter* evaluations = nullptr;
+  Counter* reuse_hits = nullptr;
+  Counter* reuse_misses = nullptr;
+  Counter* match_rows = nullptr;
+  Counter* rows_emitted = nullptr;
+  Counter* snapshots_incremental = nullptr;
+  Counter* snapshots_rebuilt = nullptr;
+  Counter* elements_added = nullptr;
+  Counter* elements_evicted = nullptr;
+  Counter* entities_recomputed = nullptr;
+  Histogram* stage_window = nullptr;
+  Histogram* stage_snapshot = nullptr;
+  Histogram* stage_match = nullptr;
+  Histogram* stage_policy = nullptr;
+  Histogram* stage_sink = nullptr;
+  Histogram* eval_total = nullptr;
+};
+
 struct ContinuousEngine::QueryState {
   RegisteredQuery query;
   bool content_deterministic = false;
@@ -57,6 +77,8 @@ struct ContinuousEngine::QueryState {
     size_t last_lo = 0;
     size_t last_hi = 0;
     bool has_last_range = false;
+    // Snapshotter counters as of the previous evaluation, for deltas.
+    SnapshotterStats last_maint;
   };
   // Keyed by "<stream>\n<width_ms>".
   std::map<std::string, WindowState> windows;
@@ -70,12 +92,54 @@ struct ContinuousEngine::QueryState {
   bool done = false;  // RETURN-once queries stop after one evaluation.
   QueryStats stats;
   Histogram eval_latency_micros;
+  QueryMetricHandles metrics;
 };
 
 namespace {
 
 std::string WindowKey(const std::string& stream, Duration width) {
   return stream + "\n" + std::to_string(width.millis());
+}
+
+// Human-readable window identifier for trace spans ("<stream>/PT..ms").
+std::string WindowLabel(const std::string& stream, Duration width) {
+  return (stream.empty() ? std::string("<default>") : stream) + "/" +
+         std::to_string(width.millis()) + "ms";
+}
+
+QueryMetricHandles MakeQueryMetrics(MetricsRegistry* registry,
+                                    const std::string& query) {
+  const MetricLabels q{{"query", query}};
+  QueryMetricHandles m;
+  m.evaluations = registry->CounterFor("seraph_query_evaluations_total", q);
+  m.reuse_hits = registry->CounterFor("seraph_query_reuse_hits_total", q);
+  m.reuse_misses =
+      registry->CounterFor("seraph_query_reuse_misses_total", q);
+  m.match_rows = registry->CounterFor("seraph_query_match_rows_total", q);
+  m.rows_emitted =
+      registry->CounterFor("seraph_query_rows_emitted_total", q);
+  m.snapshots_incremental =
+      registry->CounterFor("seraph_query_snapshots_incremental_total", q);
+  m.snapshots_rebuilt =
+      registry->CounterFor("seraph_query_snapshots_rebuilt_total", q);
+  m.elements_added =
+      registry->CounterFor("seraph_window_elements_added_total", q);
+  m.elements_evicted =
+      registry->CounterFor("seraph_window_elements_evicted_total", q);
+  m.entities_recomputed =
+      registry->CounterFor("seraph_window_entities_recomputed_total", q);
+  auto stage = [&](const char* name) {
+    return registry->HistogramFor(
+        "seraph_stage_micros",
+        {{"query", query}, {"stage", name}});
+  };
+  m.stage_window = stage("window");
+  m.stage_snapshot = stage("snapshot");
+  m.stage_match = stage("match");
+  m.stage_policy = stage("policy");
+  m.stage_sink = stage("sink");
+  m.eval_total = registry->HistogramFor("seraph_query_eval_micros", q);
+  return m;
 }
 
 // Resolves each MATCH clause to the snapshot of its (stream, WITHIN)
@@ -164,8 +228,11 @@ Status ContinuousEngine::Register(RegisteredQuery query) {
     state->windows.emplace(std::move(key), std::move(ws));
   }
   state->query = std::move(query);
+  state->metrics = MakeQueryMetrics(&metrics_, state->query.name);
   std::string name = state->query.name;
   queries_.emplace(std::move(name), std::move(state));
+  metrics_.GaugeFor("seraph_queries_registered")
+      ->Set(static_cast<int64_t>(queries_.size()));
   return Status::OK();
 }
 
@@ -179,6 +246,8 @@ Status ContinuousEngine::Unregister(const std::string& name) {
   if (queries_.erase(name) == 0) {
     return Status::NotFound("query '" + name + "' is not registered");
   }
+  metrics_.GaugeFor("seraph_queries_registered")
+      ->Set(static_cast<int64_t>(queries_.size()));
   return Status::OK();
 }
 
@@ -231,7 +300,27 @@ Status ContinuousEngine::IngestTo(
         "cannot ingest an element older than the engine clock (" +
         timestamp.ToString() + " < " + clock_.ToString() + ")");
   }
-  return MutableStream(stream)->Append(std::move(graph), timestamp);
+  Status appended = MutableStream(stream)->Append(std::move(graph), timestamp);
+  if (appended.ok()) {
+    auto it = ingest_counters_.find(stream);
+    if (it == ingest_counters_.end()) {
+      it = ingest_counters_
+               .emplace(stream,
+                        metrics_.CounterFor(
+                            "seraph_stream_elements_ingested_total",
+                            {{"stream", stream.empty() ? "<default>"
+                                                       : stream}}))
+               .first;
+    }
+    it->second->Increment();
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      options_.tracer->AddInstant(
+          "ingest", "stream", TraceRecorder::NowMicros(),
+          {{"stream", stream.empty() ? "<default>" : stream},
+           {"t", timestamp.ToString()}});
+    }
+  }
+  return appended;
 }
 
 const PropertyGraphStream& ContinuousEngine::stream() const {
@@ -287,16 +376,42 @@ Status ContinuousEngine::Drain() {
   return AdvanceTo(horizon);
 }
 
+namespace {
+
+const char* PolicyName(ReportPolicy policy) {
+  switch (policy) {
+    case ReportPolicy::kSnapshot:
+      return "SNAPSHOT";
+    case ReportPolicy::kOnEntering:
+      return "ON ENTERING";
+    case ReportPolicy::kOnExiting:
+      return "ON EXITING";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
-  auto started = std::chrono::steady_clock::now();
+  // All stage timing shares one clock (TraceRecorder::NowMicros) so the
+  // histogram breakdown and the trace spans agree. The tracer pointer is
+  // resolved once; when tracing is off the only extra work per stage is
+  // the clock read feeding the stage histograms.
+  TraceRecorder* tracer =
+      (options_.tracer != nullptr && options_.tracer->enabled())
+          ? options_.tracer
+          : nullptr;
+  const int64_t eval_start = TraceRecorder::NowMicros();
   ++evaluations_run_;
   ++state->stats.evaluations;
+  state->metrics.evaluations->Increment();
 
   // 1. Identify each window's active interval and element range; advance /
   //    rebuild its snapshot.
   std::map<std::string, const PropertyGraph*> snapshots;
   std::optional<TimeInterval> widest_window;
   bool all_ranges_unchanged = true;
+  int64_t snapshot_micros = 0;
   for (auto& [key, ws] : state->windows) {
     std::optional<TimeInterval> window = ws.config.ActiveWindow(t);
     if (!window.has_value()) {
@@ -339,9 +454,25 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
     ws.last_hi = hi;
     ws.has_last_range = true;
 
+    const int64_t snap_start = TraceRecorder::NowMicros();
     if (ws.snapshotter != nullptr) {
       SERAPH_RETURN_IF_ERROR(ws.snapshotter->Advance(effective));
       snapshots[key] = &ws.snapshotter->graph();
+      ++state->stats.snapshots_incremental;
+      state->metrics.snapshots_incremental->Increment();
+      // Export this advance's maintenance delta (the snapshotter keeps
+      // cumulative counts).
+      const SnapshotterStats& maint = ws.snapshotter->stats();
+      int64_t added = maint.elements_added - ws.last_maint.elements_added;
+      int64_t evicted =
+          maint.elements_evicted - ws.last_maint.elements_evicted;
+      state->stats.window_elements_added += added;
+      state->stats.window_elements_evicted += evicted;
+      state->metrics.elements_added->Increment(added);
+      state->metrics.elements_evicted->Increment(evicted);
+      state->metrics.entities_recomputed->Increment(
+          maint.entities_recomputed - ws.last_maint.entities_recomputed);
+      ws.last_maint = maint;
     } else {
       SERAPH_ASSIGN_OR_RETURN(
           PropertyGraph snapshot,
@@ -353,19 +484,48 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
       }
       ws.rebuilt = std::move(snapshot);
       snapshots[key] = &ws.rebuilt;
+      ++state->stats.snapshots_rebuilt;
+      state->metrics.snapshots_rebuilt->Increment();
+    }
+    const int64_t snap_dur = TraceRecorder::NowMicros() - snap_start;
+    snapshot_micros += snap_dur;
+    if (tracer != nullptr) {
+      tracer->AddComplete(
+          "snapshot", "engine", snap_start, snap_dur,
+          {{"query", state->query.name},
+           {"window", WindowLabel(ws.stream, ws.width)},
+           {"mode", ws.snapshotter != nullptr ? "incremental" : "rebuild"}});
     }
   }
   SERAPH_CHECK(widest_window.has_value());
   const PropertyGraph* base = snapshots.at(state->widest_key);
 
+  const int64_t windows_end = TraceRecorder::NowMicros();
+  // "window" is the interval/range bookkeeping around the snapshot work.
+  const int64_t window_micros =
+      (windows_end - eval_start) - snapshot_micros;
+  state->stats.window_micros += window_micros;
+  state->stats.snapshot_micros += snapshot_micros;
+  state->metrics.stage_window->Record(window_micros);
+  state->metrics.stage_snapshot->Record(snapshot_micros);
+  if (tracer != nullptr) {
+    tracer->AddComplete("window_maintenance", "engine", eval_start,
+                        windows_end - eval_start,
+                        {{"query", state->query.name},
+                         {"t", t.ToString()}});
+  }
+
   // 2. Evaluate the body at instant t (snapshot reducibility) — or reuse
   //    the previous result when nothing in any window changed and the
   //    query cannot observe the evaluation instant.
   Table current;
+  bool reused = false;
   if (options_.reuse_unchanged_windows && state->content_deterministic &&
       state->has_previous && all_ranges_unchanged) {
     current = state->previous_result;
     ++state->stats.reused_results;
+    state->metrics.reuse_hits->Increment();
+    reused = true;
   } else {
     WindowGraphResolver resolver(snapshots, base);
     ExecutionOptions exec;
@@ -384,8 +544,23 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
     state->query.projection = std::move(single.ret.body);
     if (!result.ok()) return result.status();
     current = std::move(result).value();
+    ++state->stats.fresh_executions;
+    state->metrics.reuse_misses->Increment();
+    state->metrics.match_rows->Increment(
+        static_cast<int64_t>(current.size()));
   }
   state->stats.result_rows += static_cast<int64_t>(current.size());
+
+  const int64_t match_end = TraceRecorder::NowMicros();
+  const int64_t match_micros = match_end - windows_end;
+  state->stats.match_micros += match_micros;
+  state->metrics.stage_match->Record(match_micros);
+  if (tracer != nullptr) {
+    tracer->AddComplete(reused ? "reuse" : "match", "engine", windows_end,
+                        match_micros,
+                        {{"query", state->query.name},
+                         {"rows", std::to_string(current.size())}});
+  }
 
   // 3. Apply the report policy.
   Table reported;
@@ -407,16 +582,42 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
   state->previous_result = std::move(current);
   state->has_previous = true;
   state->stats.rows_emitted += static_cast<int64_t>(reported.size());
+  state->metrics.rows_emitted->Increment(
+      static_cast<int64_t>(reported.size()));
+
+  const int64_t policy_end = TraceRecorder::NowMicros();
+  const int64_t policy_micros = policy_end - match_end;
+  state->stats.policy_micros += policy_micros;
+  state->metrics.stage_policy->Record(policy_micros);
+  if (tracer != nullptr) {
+    tracer->AddComplete("policy", "engine", match_end, policy_micros,
+                        {{"query", state->query.name},
+                         {"policy", PolicyName(state->query.policy)}});
+  }
 
   // 4. Emit the time-annotated table.
   TimeAnnotatedTable annotated{std::move(reported), *widest_window};
   for (EmitSink* sink : sinks_) {
     sink->OnResult(state->query.name, t, annotated);
   }
-  state->eval_latency_micros.Record(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - started)
-          .count());
+
+  const int64_t sink_end = TraceRecorder::NowMicros();
+  const int64_t sink_micros = sink_end - policy_end;
+  state->stats.sink_micros += sink_micros;
+  state->metrics.stage_sink->Record(sink_micros);
+  if (tracer != nullptr) {
+    tracer->AddComplete("sink", "engine", policy_end, sink_micros,
+                        {{"query", state->query.name},
+                         {"sinks", std::to_string(sinks_.size())}});
+    tracer->AddComplete("evaluate", "pipeline", eval_start,
+                        sink_end - eval_start,
+                        {{"query", state->query.name},
+                         {"t", t.ToString()}});
+  }
+
+  const int64_t total_micros = sink_end - eval_start;
+  state->eval_latency_micros.Record(total_micros);
+  state->metrics.eval_total->Record(total_micros);
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "seraph/seraph_query.h"
 #include "stream/graph_stream.h"
 #include "stream/snapshot.h"
@@ -86,14 +87,35 @@ struct EngineOptions {
   // Greedy MATCH join-order optimization — ablated in bench_match.
   bool optimize_match_order = true;
   std::map<std::string, Value> parameters;
+  // Optional span tracer (not owned; may outlive the engine's interest).
+  // When null or disabled the instrumented paths never read the trace
+  // clock — see common/trace.h. Spans map 1:1 onto the Fig. 5 stages
+  // (window → snapshot → match → policy → sink).
+  TraceRecorder* tracer = nullptr;
 };
 
-// Per-query execution counters.
+// Per-query execution counters, including the per-stage cost breakdown of
+// the Fig. 5 pipeline. The same numbers (plus latency distributions) are
+// exported through the engine's MetricsRegistry; QueryStats is the cheap
+// struct-valued view for tests and benches.
 struct QueryStats {
   int64_t evaluations = 0;       // Total ET instants processed.
   int64_t reused_results = 0;    // Evaluations served from the reuse cache.
   int64_t rows_emitted = 0;      // Rows delivered to sinks (post-policy).
   int64_t result_rows = 0;       // Rows computed (pre-policy, SNAPSHOT view).
+  // Window / snapshot maintenance.
+  int64_t snapshots_incremental = 0;  // Windows advanced by delta.
+  int64_t snapshots_rebuilt = 0;      // Windows re-merged from scratch.
+  int64_t window_elements_added = 0;    // Elements entering any window.
+  int64_t window_elements_evicted = 0;  // Elements leaving any window.
+  // MATCH executions that actually ran (evaluations - reused_results).
+  int64_t fresh_executions = 0;
+  // Cumulative per-stage wall time (microseconds) across evaluations.
+  int64_t window_micros = 0;    // Active-interval & element-range work.
+  int64_t snapshot_micros = 0;  // Snapshot advance / rebuild.
+  int64_t match_micros = 0;     // Cypher clause evaluation (or reuse copy).
+  int64_t policy_micros = 0;    // Report-policy delta computation.
+  int64_t sink_micros = 0;      // Sink delivery.
 };
 
 class ContinuousEngine {
@@ -121,6 +143,14 @@ class ContinuousEngine {
   // Wall-clock evaluation latency distribution (microseconds) of a
   // registered query.
   Result<HistogramSnapshot> LatencyFor(const std::string& name) const;
+
+  // The engine-lifetime metrics registry: per-query pipeline-stage
+  // histograms (`seraph_stage_micros{query=...,stage=...}`), execution
+  // counters, and per-stream ingestion counters. Series survive
+  // Unregister so post-run exposition still sees completed queries.
+  // Naming conventions are documented in docs/INTERNALS.md.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // Sinks receive results of every query; not owned.
   void AddSink(EmitSink* sink) { sinks_.push_back(sink); }
@@ -172,6 +202,10 @@ class ContinuousEngine {
   Status EvaluateAt(QueryState* state, Timestamp t);
 
   EngineOptions options_;
+  MetricsRegistry metrics_;
+  // Per-stream ingestion counters, cached so the Ingest hot path avoids a
+  // registry lookup per element.
+  std::map<std::string, Counter*> ingest_counters_;
   std::map<std::string, PropertyGraphStream> streams_;
   std::shared_ptr<const PropertyGraph> static_graph_;
   std::map<std::string, std::unique_ptr<QueryState>> queries_;

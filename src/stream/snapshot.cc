@@ -69,14 +69,17 @@ Status IncrementalSnapshotter::Advance(const TimeInterval& interval) {
   // Append newly-covered elements, then evict expired ones.
   for (size_t i = std::max(hi_, new_lo); i < new_hi; ++i) {
     AddElement(stream_->at(i));
+    ++stats_.elements_added;
   }
   for (size_t i = lo_; i < std::min(new_lo, hi_); ++i) {
     EvictElement(stream_->at(i));
+    ++stats_.elements_evicted;
   }
   lo_ = new_lo;
   hi_ = new_hi;
   started_ = true;
   last_interval_ = interval;
+  ++stats_.advances;
   return Rebuild();
 }
 
@@ -136,6 +139,8 @@ Status IncrementalSnapshotter::Rebuild() {
   std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
   dirty_nodes_.erase(std::unique(dirty_nodes_.begin(), dirty_nodes_.end()),
                      dirty_nodes_.end());
+  stats_.entities_recomputed +=
+      static_cast<int64_t>(dirty_nodes_.size() + dirty_rels_.size());
 
   for (RelId id : dirty_rels_) {
     auto it = rel_contribs_.find(id);

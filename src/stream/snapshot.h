@@ -24,6 +24,16 @@
 
 namespace seraph {
 
+// Cumulative window-maintenance counters of an IncrementalSnapshotter —
+// the raw material for the engine's per-query maintenance metrics and for
+// the bench ablations (how much delta work a slide actually did).
+struct SnapshotterStats {
+  int64_t advances = 0;            // Advance() calls that succeeded.
+  int64_t elements_added = 0;      // Stream elements entering the window.
+  int64_t elements_evicted = 0;    // Stream elements leaving the window.
+  int64_t entities_recomputed = 0; // Dirty nodes+rels re-merged by Rebuild.
+};
+
 // Builds the snapshot graph G_τ for `interval` by merging the substream's
 // graphs in timestamp order.
 Result<PropertyGraph> BuildSnapshot(const PropertyGraphStream& stream,
@@ -59,6 +69,9 @@ class IncrementalSnapshotter {
   // Introspection for tests/benches: currently-covered element index range.
   size_t window_begin() const { return lo_; }
   size_t window_end() const { return hi_; }
+
+  // Cumulative maintenance counters (monotone; callers diff snapshots).
+  const SnapshotterStats& stats() const { return stats_; }
 
  private:
   struct NodeContribution {
@@ -97,6 +110,7 @@ class IncrementalSnapshotter {
   size_t hi_ = 0;
   bool started_ = false;
   TimeInterval last_interval_{};
+  SnapshotterStats stats_;
 };
 
 }  // namespace seraph

@@ -1,18 +1,36 @@
 // seraph_run — run a Seraph continuous query over a recorded event log.
 //
-//   seraph_run <query.seraph> <events.log> [--csv] [--stats]
+//   seraph_run <query.seraph> <events.log> [--csv | --json] [--stats]
+//              [--explain] [--metrics=<path|->] [--trace=<path>]
+//              [--progress=<n>]
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
 // the text format of io/graph_text.h (`@ <ISO datetime>` headers followed
 // by node/rel lines). Results are printed as ASCII tables per evaluation,
-// or as CSV with --csv. With --stats, per-query execution counters are
-// reported at the end.
+// or as CSV / JSON lines with --csv / --json. With --stats, per-query
+// execution counters are reported at the end.
+//
+// Observability:
+//   --metrics=<path>  dump the engine's metrics registry in Prometheus
+//                     text format after the run ("-" = stdout): per-stage
+//                     latency histograms (window / snapshot / match /
+//                     policy / sink), reuse and maintenance counters,
+//                     per-stream ingestion counts.
+//   --trace=<path>    record every pipeline stage as a span and write a
+//                     Chrome trace-event JSON file loadable in
+//                     chrome://tracing or https://ui.perfetto.dev.
+//   --progress=<n>    print a stats line to stderr every n ingested
+//                     events (and advance the engine as events arrive, so
+//                     the counters are live). Requires a chronologically
+//                     ordered event log.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "io/graph_text.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/seraph_parser.h"
@@ -37,6 +55,28 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+// Value of a `--flag=value` argument, if `arg` starts with `prefix`.
+bool FlagValue(const std::string& arg, const std::string& prefix,
+               std::string* value) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void PrintProgressLine(const ContinuousEngine& engine,
+                       const std::string& name, size_t ingested,
+                       size_t total) {
+  auto stats = engine.StatsFor(name);
+  std::cerr << "[seraph_run] ingested " << ingested << "/" << total
+            << " events";
+  if (stats.ok()) {
+    std::cerr << ", evaluations=" << stats->evaluations
+              << ", reused=" << stats->reused_results
+              << ", rows_emitted=" << stats->rows_emitted;
+  }
+  std::cerr << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,8 +85,12 @@ int main(int argc, char** argv) {
   bool json = false;
   bool stats = false;
   bool explain = false;
+  std::string metrics_path;
+  std::string trace_path;
+  long progress_every = 0;
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
+    std::string value;
     if (arg == "--csv") {
       csv = true;
     } else if (arg == "--json") {
@@ -55,9 +99,25 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (FlagValue(arg, "--metrics=", &metrics_path)) {
+      if (metrics_path.empty()) {
+        return Fail("--metrics expects a file path or '-' for stdout");
+      }
+    } else if (FlagValue(arg, "--trace=", &trace_path)) {
+      if (trace_path.empty()) {
+        return Fail("--trace expects a file path");
+      }
+    } else if (FlagValue(arg, "--progress=", &value)) {
+      progress_every = std::strtol(value.c_str(), nullptr, 10);
+      if (progress_every <= 0) {
+        return Fail("--progress expects a positive event count");
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: seraph_run <query.seraph> <events.log> "
-                   "[--csv | --json] [--stats] [--explain]\n";
+      std::cout
+          << "usage: seraph_run <query.seraph> <events.log> "
+             "[--csv | --json] [--stats] [--explain]\n"
+             "                  [--metrics=<path|->] [--trace=<path>] "
+             "[--progress=<n>]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -87,7 +147,13 @@ int main(int argc, char** argv) {
   }
   std::string name = query->name;
 
-  ContinuousEngine engine;
+  TraceRecorder tracer;
+  EngineOptions options;
+  if (!trace_path.empty()) {
+    tracer.Enable();
+    options.tracer = &tracer;
+  }
+  ContinuousEngine engine(options);
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
   JsonLinesSink json_sink(&std::cout, /*include_empty=*/false);
@@ -101,12 +167,27 @@ int main(int argc, char** argv) {
   if (Status s = engine.Register(std::move(query).value()); !s.ok()) {
     return Fail(s.ToString());
   }
+  size_t ingested = 0;
   for (const StreamElement& event : *events) {
     if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
       return Fail(s.ToString());
     }
+    ++ingested;
+    if (progress_every > 0 &&
+        ingested % static_cast<size_t>(progress_every) == 0) {
+      // Advance so the progress counters reflect evaluations up to this
+      // event; needs the log in chronological order.
+      if (Status s = engine.AdvanceTo(event.timestamp); !s.ok()) {
+        return Fail(s.ToString() +
+                    " (--progress requires a chronological event log)");
+      }
+      PrintProgressLine(engine, name, ingested, events->size());
+    }
   }
   if (Status s = engine.Drain(); !s.ok()) return Fail(s.ToString());
+  if (progress_every > 0) {
+    PrintProgressLine(engine, name, ingested, events->size());
+  }
 
   if (stats) {
     QueryStats counters = *engine.StatsFor(name);
@@ -114,7 +195,31 @@ int main(int argc, char** argv) {
               << ", reused: " << counters.reused_results
               << ", rows emitted: " << counters.rows_emitted << "\n"
               << "latency (us): " << engine.LatencyFor(name)->ToString()
-              << "\n";
+              << "\n"
+              << "stage micros (cumulative): window="
+              << counters.window_micros
+              << " snapshot=" << counters.snapshot_micros
+              << " match=" << counters.match_micros
+              << " policy=" << counters.policy_micros
+              << " sink=" << counters.sink_micros << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::string text = engine.metrics().ToPrometheusText();
+    if (metrics_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) return Fail("cannot open metrics file '" + metrics_path + "'");
+      out << text;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (Status s = tracer.WriteJsonFile(trace_path); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    std::cerr << "[seraph_run] wrote " << tracer.size()
+              << " trace events to " << trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
 }
