@@ -26,6 +26,7 @@ enum class StatusCode {
   kOutOfRange,        // Time instant / index outside the valid domain.
   kUnimplemented,     // Feature outside the supported Cypher/Seraph subset.
   kInternal,          // Invariant violation; indicates a library bug.
+  kUnavailable,       // Transient failure (transport/sink hiccup); retryable.
 };
 
 // Returns a stable lower-case name for `code` (e.g. "parse_error").
@@ -76,8 +77,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // Transient failures are worth retrying; everything else is permanent.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -461,7 +461,16 @@ Result<Timestamp> Parser::ParseDateTimeLiteral() {
 // Expressions
 // ---------------------------------------------------------------------------
 
-Result<ExprPtr> Parser::ParseExpression() { return ParseOr(); }
+Result<ExprPtr> Parser::ParseExpression() {
+  if (expr_depth_ >= kMaxExpressionDepth) {
+    return Status::ParseError("expression nesting exceeds the maximum depth of " +
+                              std::to_string(kMaxExpressionDepth));
+  }
+  ++expr_depth_;
+  auto result = ParseOr();
+  --expr_depth_;
+  return result;
+}
 
 Result<ExprPtr> Parser::ParseStandaloneExpression() {
   SERAPH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());

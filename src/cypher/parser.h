@@ -40,6 +40,11 @@ class Parser {
   Result<ProjectionBody> ParseProjectionBody(
       const std::vector<std::string>& stop_keywords = {});
 
+  // Guarded against stack exhaustion: expression nesting beyond
+  // kMaxExpressionDepth is a clean kParseError, not a crash. The bound
+  // leaves generous headroom for real queries (hundreds of levels) while
+  // staying stack-safe under sanitizer builds.
+  static constexpr int kMaxExpressionDepth = 600;
   Result<ExprPtr> ParseExpression();
 
   // An ISO-8601 duration, written either as an identifier-shaped literal
@@ -107,6 +112,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
 
 // Convenience: tokenizes and parses a complete Cypher query.

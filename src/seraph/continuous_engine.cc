@@ -13,11 +13,12 @@ namespace seraph {
 // CollectingSink
 // ---------------------------------------------------------------------------
 
-void CollectingSink::OnResult(const std::string& query_name,
-                              Timestamp evaluation_time,
-                              const TimeAnnotatedTable& table) {
+Status CollectingSink::OnResult(const std::string& query_name,
+                                Timestamp evaluation_time,
+                                const TimeAnnotatedTable& table) {
   results_[query_name].Insert(table);
   by_time_[query_name].emplace(evaluation_time, table);
+  return Status::OK();
 }
 
 const TimeVaryingTable& CollectingSink::ResultsFor(
@@ -173,6 +174,93 @@ ContinuousEngine::ContinuousEngine(EngineOptions options)
     : options_(std::move(options)) {}
 
 ContinuousEngine::~ContinuousEngine() = default;
+
+void ContinuousEngine::AddSink(EmitSink* sink) {
+  AddSink(sink, "sink" + std::to_string(sinks_.size()), SinkPolicy{});
+}
+
+void ContinuousEngine::AddSink(EmitSink* sink, std::string name,
+                               SinkPolicy policy) {
+  SinkState state;
+  state.sink = sink;
+  state.name = std::move(name);
+  state.policy = policy;
+  const MetricLabels labels{{"sink", state.name}};
+  state.deliveries =
+      metrics_.CounterFor("seraph_sink_deliveries_total", labels);
+  state.failures = metrics_.CounterFor("seraph_sink_failures_total", labels);
+  state.retries = metrics_.CounterFor("seraph_sink_retries_total", labels);
+  state.dead_lettered =
+      metrics_.CounterFor("seraph_sink_dead_lettered_total", labels);
+  state.quarantined_gauge =
+      metrics_.GaugeFor("seraph_sink_quarantined", labels);
+  sinks_.push_back(std::move(state));
+}
+
+bool ContinuousEngine::SinkQuarantined(const std::string& name) const {
+  for (const SinkState& state : sinks_) {
+    if (state.name == name) return state.quarantined;
+  }
+  return false;
+}
+
+Status ContinuousEngine::ReviveSink(const std::string& name) {
+  for (SinkState& state : sinks_) {
+    if (state.name != name) continue;
+    state.quarantined = false;
+    state.consecutive_failures = 0;
+    state.quarantined_gauge->Set(0);
+    return Status::OK();
+  }
+  return Status::NotFound("sink '" + name + "' is not registered");
+}
+
+void ContinuousEngine::DeliverToSinks(const std::string& query_name,
+                                      Timestamp t,
+                                      const TimeAnnotatedTable& annotated) {
+  for (SinkState& state : sinks_) {
+    if (state.quarantined) continue;
+    Status status;
+    int attempts = 0;
+    for (;;) {
+      ++attempts;
+      status = state.sink->OnResult(query_name, t, annotated);
+      if (status.ok()) break;
+      if (!state.policy.retry.ShouldRetry(status, attempts)) break;
+      state.retries->Increment();
+      // The backoff delay is deterministic and accounted, not slept: the
+      // engine runs in simulated time (see common/fault.h).
+      metrics_.CounterFor("seraph_sink_backoff_millis_total",
+                          {{"sink", state.name}})
+          ->Increment(state.policy.retry.DelayMillisFor(attempts));
+    }
+    if (status.ok()) {
+      state.consecutive_failures = 0;
+      state.deliveries->Increment();
+      continue;
+    }
+    // Retries exhausted or the error was permanent: this delivery is
+    // lost to the sink — capture it, count it, and keep everything else
+    // running (sink isolation).
+    state.failures->Increment();
+    ++state.consecutive_failures;
+    if (options_.dead_letter != nullptr) {
+      options_.dead_letter->AddSinkResult(state.name, query_name, t,
+                                          annotated, status, attempts);
+      state.dead_lettered->Increment();
+    }
+    SERAPH_LOG(WARNING) << "sink '" << state.name << "' rejected result of '"
+                        << query_name << "' at " << t.ToString() << " after "
+                        << attempts << " attempt(s): " << status;
+    if (state.consecutive_failures >= state.policy.quarantine_after) {
+      state.quarantined = true;
+      state.quarantined_gauge->Set(1);
+      SERAPH_LOG(ERROR) << "sink '" << state.name << "' quarantined after "
+                        << state.consecutive_failures
+                        << " consecutive failures";
+    }
+  }
+}
 
 PropertyGraphStream* ContinuousEngine::MutableStream(
     const std::string& name) {
@@ -595,11 +683,11 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
                          {"policy", PolicyName(state->query.policy)}});
   }
 
-  // 4. Emit the time-annotated table.
+  // 4. Emit the time-annotated table. Sink failures are isolated inside
+  //    DeliverToSinks (retry → dead-letter → quarantine) and never fail
+  //    the evaluation.
   TimeAnnotatedTable annotated{std::move(reported), *widest_window};
-  for (EmitSink* sink : sinks_) {
-    sink->OnResult(state->query.name, t, annotated);
-  }
+  DeliverToSinks(state->query.name, t, annotated);
 
   const int64_t sink_end = TraceRecorder::NowMicros();
   const int64_t sink_micros = sink_end - policy_end;

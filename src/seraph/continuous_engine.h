@@ -28,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/trace.h"
+#include "seraph/dead_letter.h"
 #include "seraph/seraph_query.h"
 #include "stream/graph_stream.h"
 #include "stream/snapshot.h"
@@ -50,17 +52,23 @@ class EmitSink {
   // WITHIN. Evaluations whose delta is empty (ON ENTERING / ON EXITING
   // with no change) are still reported, with an empty table, so sinks see
   // the full ET sequence.
-  virtual void OnResult(const std::string& query_name,
-                        Timestamp evaluation_time,
-                        const TimeAnnotatedTable& table) = 0;
+  //
+  // Returns OK when the result was accepted. A kUnavailable status marks
+  // a transient failure the engine may retry per the sink's policy; any
+  // other error is permanent for this delivery. Sink failures never fail
+  // the evaluation: the engine isolates the sink (retry → dead-letter →
+  // quarantine, see docs/INTERNALS.md "Failure model").
+  virtual Status OnResult(const std::string& query_name,
+                          Timestamp evaluation_time,
+                          const TimeAnnotatedTable& table) = 0;
 };
 
 // Records every result per query; the recorded sequence is the
 // time-varying table Ψ of Def. 5.7.
 class CollectingSink final : public EmitSink {
  public:
-  void OnResult(const std::string& query_name, Timestamp evaluation_time,
-                const TimeAnnotatedTable& table) override;
+  Status OnResult(const std::string& query_name, Timestamp evaluation_time,
+                  const TimeAnnotatedTable& table) override;
 
   // Results of `query_name` in evaluation order (empty if none).
   const TimeVaryingTable& ResultsFor(const std::string& query_name) const;
@@ -92,6 +100,20 @@ struct EngineOptions {
   // clock — see common/trace.h. Spans map 1:1 onto the Fig. 5 stages
   // (window → snapshot → match → policy → sink).
   TraceRecorder* tracer = nullptr;
+  // When set (not owned), results permanently rejected by a sink are
+  // captured here instead of being lost.
+  DeadLetterQueue* dead_letter = nullptr;
+};
+
+// Per-sink failure handling (see docs/INTERNALS.md, "Failure model").
+struct SinkPolicy {
+  // Transient (kUnavailable) failures are retried in-place this many
+  // times; backoff delays are deterministic and recorded, not slept.
+  RetryPolicy retry = RetryPolicy::None();
+  // After this many *consecutive* failed deliveries (retries exhausted or
+  // permanent error) the sink is quarantined: it stops receiving results
+  // but evaluation and the other sinks continue.
+  int quarantine_after = 5;
 };
 
 // Per-query execution counters, including the per-stage cost breakdown of
@@ -152,8 +174,22 @@ class ContinuousEngine {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  // Sinks receive results of every query; not owned.
-  void AddSink(EmitSink* sink) { sinks_.push_back(sink); }
+  // Sinks receive results of every query; not owned. Each sink is
+  // isolated: a failing sink is retried per its policy, its permanently
+  // rejected results go to the dead-letter queue (when configured), and
+  // after `quarantine_after` consecutive failures it is quarantined —
+  // without ever blocking evaluation or the other sinks. The unnamed
+  // overload keeps the historical contract (no retry, metrics under
+  // "sink<index>").
+  void AddSink(EmitSink* sink);
+  void AddSink(EmitSink* sink, std::string name, SinkPolicy policy = {});
+
+  // Whether the named sink has been quarantined (false for unknown
+  // names).
+  bool SinkQuarantined(const std::string& name) const;
+  // Lifts a sink's quarantine and resets its failure streak (operator
+  // intervention after fixing the consumer).
+  Status ReviveSink(const std::string& name);
 
   // ---- Static background graph (§8 (iii)) ----
 
@@ -198,8 +234,27 @@ class ContinuousEngine {
  private:
   struct QueryState;
 
+  // One registered sink plus its isolation state and cached metric
+  // handles (resolved once at AddSink).
+  struct SinkState {
+    EmitSink* sink = nullptr;
+    std::string name;
+    SinkPolicy policy;
+    int consecutive_failures = 0;
+    bool quarantined = false;
+    Counter* deliveries = nullptr;
+    Counter* failures = nullptr;
+    Counter* retries = nullptr;
+    Counter* dead_lettered = nullptr;
+    Gauge* quarantined_gauge = nullptr;
+  };
+
   PropertyGraphStream* MutableStream(const std::string& name);
   Status EvaluateAt(QueryState* state, Timestamp t);
+  // Delivers one result to every live sink with per-sink retry /
+  // dead-letter / quarantine handling; never fails the evaluation.
+  void DeliverToSinks(const std::string& query_name, Timestamp t,
+                      const TimeAnnotatedTable& annotated);
 
   EngineOptions options_;
   MetricsRegistry metrics_;
@@ -209,7 +264,7 @@ class ContinuousEngine {
   std::map<std::string, PropertyGraphStream> streams_;
   std::shared_ptr<const PropertyGraph> static_graph_;
   std::map<std::string, std::unique_ptr<QueryState>> queries_;
-  std::vector<EmitSink*> sinks_;
+  std::vector<SinkState> sinks_;
   Timestamp clock_;
   bool clock_started_ = false;
   int64_t evaluations_run_ = 0;

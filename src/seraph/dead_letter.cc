@@ -1,0 +1,85 @@
+#include "seraph/dead_letter.h"
+
+#include "io/json.h"
+
+namespace seraph {
+
+void DeadLetterQueue::AddSinkResult(const std::string& sink,
+                                    const std::string& query,
+                                    Timestamp evaluation_time,
+                                    const TimeAnnotatedTable& result,
+                                    Status error, int64_t attempts) {
+  DeadLetterEntry entry;
+  entry.kind = DeadLetterEntry::Kind::kSinkResult;
+  entry.source = sink;
+  entry.query = query;
+  entry.timestamp = evaluation_time;
+  entry.error = std::move(error);
+  entry.attempts = attempts;
+  entry.result = result;
+  entries_.push_back(std::move(entry));
+  ++sink_results_;
+}
+
+void DeadLetterQueue::AddElement(const std::string& consumer,
+                                 const StreamElement& element, Status error,
+                                 int64_t attempts) {
+  DeadLetterEntry entry;
+  entry.kind = DeadLetterEntry::Kind::kStreamElement;
+  entry.source = consumer;
+  entry.timestamp = element.timestamp;
+  entry.error = std::move(error);
+  entry.attempts = attempts;
+  entry.element = element.graph;
+  entries_.push_back(std::move(entry));
+  ++elements_;
+}
+
+void DeadLetterQueue::Clear() {
+  entries_.clear();
+  sink_results_ = 0;
+  elements_ = 0;
+}
+
+Status DeadLetterQueue::WriteJsonLines(std::ostream* os) const {
+  for (const DeadLetterEntry& entry : entries_) {
+    std::string line = "{\"kind\":";
+    line += entry.kind == DeadLetterEntry::Kind::kSinkResult
+                ? "\"sink_result\""
+                : "\"stream_element\"";
+    line += ",\"source\":";
+    io::AppendJsonValue(Value::String(entry.source), &line);
+    if (entry.kind == DeadLetterEntry::Kind::kSinkResult) {
+      line += ",\"query\":";
+      io::AppendJsonValue(Value::String(entry.query), &line);
+    }
+    line += ",\"at\":";
+    io::AppendJsonValue(Value::String(entry.timestamp.ToString()), &line);
+    line += ",\"error\":";
+    io::AppendJsonValue(Value::String(entry.error.ToString()), &line);
+    line += ",\"attempts\":" + std::to_string(entry.attempts);
+    if (entry.result.has_value()) {
+      line += ",\"win_start\":";
+      io::AppendJsonValue(
+          Value::String(entry.result->window.start.ToString()), &line);
+      line += ",\"win_end\":";
+      io::AppendJsonValue(Value::String(entry.result->window.end.ToString()),
+                          &line);
+      line += ",\"rows\":" + io::ToJson(entry.result->table.Canonicalized());
+    }
+    if (entry.element != nullptr) {
+      line += ",\"element\":{\"nodes\":" +
+              std::to_string(entry.element->num_nodes()) +
+              ",\"relationships\":" +
+              std::to_string(entry.element->num_relationships()) + "}";
+    }
+    line += "}";
+    *os << line << "\n";
+    if (!os->good()) {
+      return Status::Unavailable("dead-letter output stream failed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace seraph

@@ -1,0 +1,81 @@
+// Dead-letter capture for the fault-tolerant pipeline.
+//
+// Two producers feed the queue (see docs/INTERNALS.md, "Failure model"):
+//  * the engine, with evaluation results a sink permanently rejected
+//    (after per-sink retries were exhausted or the error was permanent);
+//  * the stream driver, with poison elements whose delivery kept failing
+//    past the per-element error budget.
+//
+// Nothing in the pipeline silently drops data: what cannot be delivered
+// lands here with the status that rejected it and the attempt count, so
+// an operator (or seraph_run --dead-letter=<path>) can inspect and replay
+// it.
+#ifndef SERAPH_SERAPH_DEAD_LETTER_H_
+#define SERAPH_SERAPH_DEAD_LETTER_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/graph_stream.h"
+#include "table/time_table.h"
+
+namespace seraph {
+
+struct DeadLetterEntry {
+  enum class Kind { kSinkResult, kStreamElement };
+
+  Kind kind;
+  // Sink name (kSinkResult) or consumer name (kStreamElement).
+  std::string source;
+  // Registered query whose result was rejected (kSinkResult only).
+  std::string query;
+  // Evaluation time (kSinkResult) or element timestamp (kStreamElement).
+  Timestamp timestamp;
+  // The status that permanently rejected the payload.
+  Status error;
+  // Delivery attempts made before giving up.
+  int64_t attempts = 0;
+
+  // Exactly one of the two payloads is set, matching `kind`.
+  std::optional<TimeAnnotatedTable> result;
+  std::shared_ptr<const PropertyGraph> element;
+};
+
+// An in-memory dead-letter queue (bounded only by what the run rejects;
+// a permanently failing sink is quarantined, which caps its inflow).
+// Not thread-safe, like the engine that feeds it.
+class DeadLetterQueue {
+ public:
+  void AddSinkResult(const std::string& sink, const std::string& query,
+                     Timestamp evaluation_time,
+                     const TimeAnnotatedTable& result, Status error,
+                     int64_t attempts);
+  void AddElement(const std::string& consumer, const StreamElement& element,
+                  Status error, int64_t attempts);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<DeadLetterEntry>& entries() const { return entries_; }
+
+  int64_t sink_results() const { return sink_results_; }
+  int64_t elements() const { return elements_; }
+
+  void Clear();
+
+  // One JSON object per entry (the format documented in
+  // docs/INTERNALS.md): sink results carry the full rows payload;
+  // elements carry a node/relationship summary of the graph.
+  Status WriteJsonLines(std::ostream* os) const;
+
+ private:
+  std::vector<DeadLetterEntry> entries_;
+  int64_t sink_results_ = 0;
+  int64_t elements_ = 0;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_DEAD_LETTER_H_

@@ -4,10 +4,28 @@
 
 namespace seraph {
 
-void PrintingSink::OnResult(const std::string& query_name,
-                            Timestamp evaluation_time,
-                            const TimeAnnotatedTable& table) {
-  if (table.table.empty() && !include_empty_) return;
+namespace {
+
+// The stream-writing sinks share one failure contract: a stream that is
+// already bad is reported (not silently swallowed), and a write that
+// fails is reported after the attempt. Both are kUnavailable — a blocked
+// pipe or full disk may clear up, and the engine's retry/quarantine
+// logic decides how long to keep trying.
+Status CheckStream(const std::ostream& os, const char* sink,
+                   const char* when) {
+  if (os.good()) return Status::OK();
+  return Status::Unavailable(std::string(sink) + ": output stream " + when +
+                             " in failed state");
+}
+
+}  // namespace
+
+Status PrintingSink::OnResult(const std::string& query_name,
+                              Timestamp evaluation_time,
+                              const TimeAnnotatedTable& table) {
+  SERAPH_FAULT_POINT("sink.emit");
+  if (table.table.empty() && !include_empty_) return Status::OK();
+  SERAPH_RETURN_IF_ERROR(CheckStream(*os_, "printing sink", "already"));
   *os_ << "[" << query_name << "] evaluation at "
        << evaluation_time.ToString() << " (window " << table.window.ToString()
        << "): " << table.table.size() << " row(s)\n";
@@ -17,12 +35,15 @@ void PrintingSink::OnResult(const std::string& query_name,
     columns.push_back(kWinEndField);
     *os_ << table.WithAnnotations().Canonicalized().ToAsciiTable(columns);
   }
+  return CheckStream(*os_, "printing sink", "left");
 }
 
-void JsonLinesSink::OnResult(const std::string& query_name,
-                             Timestamp evaluation_time,
-                             const TimeAnnotatedTable& table) {
-  if (table.table.empty() && !include_empty_) return;
+Status JsonLinesSink::OnResult(const std::string& query_name,
+                               Timestamp evaluation_time,
+                               const TimeAnnotatedTable& table) {
+  SERAPH_FAULT_POINT("sink.emit");
+  if (table.table.empty() && !include_empty_) return Status::OK();
+  SERAPH_RETURN_IF_ERROR(CheckStream(*os_, "json sink", "already"));
   std::string line = "{\"query\":";
   io::AppendJsonValue(Value::String(query_name), &line);
   line += ",\"at\":";
@@ -34,6 +55,7 @@ void JsonLinesSink::OnResult(const std::string& query_name,
   Table canonical = table.table.Canonicalized();
   line += ",\"rows\":" + io::ToJson(canonical) + "}";
   *os_ << line << "\n";
+  return CheckStream(*os_, "json sink", "left");
 }
 
 namespace {
@@ -54,9 +76,11 @@ void AppendCsvField(const std::string& field, std::string* out) {
 
 }  // namespace
 
-void CsvSink::OnResult(const std::string& query_name,
-                       Timestamp evaluation_time,
-                       const TimeAnnotatedTable& table) {
+Status CsvSink::OnResult(const std::string& query_name,
+                         Timestamp evaluation_time,
+                         const TimeAnnotatedTable& table) {
+  SERAPH_FAULT_POINT("sink.emit");
+  SERAPH_RETURN_IF_ERROR(CheckStream(*os_, "csv sink", "already"));
   if (!header_written_) {
     std::string header = "query,evaluation_time,win_start,win_end";
     for (const std::string& column : columns_) {
@@ -64,6 +88,9 @@ void CsvSink::OnResult(const std::string& query_name,
       AppendCsvField(column, &header);
     }
     *os_ << header << "\n";
+    // Latch only after a successful write so a retried first delivery
+    // still gets its header.
+    SERAPH_RETURN_IF_ERROR(CheckStream(*os_, "csv sink", "left"));
     header_written_ = true;
   }
   Table canonical = table.table.Canonicalized();
@@ -79,6 +106,7 @@ void CsvSink::OnResult(const std::string& query_name,
     }
     *os_ << line << "\n";
   }
+  return CheckStream(*os_, "csv sink", "left");
 }
 
 }  // namespace seraph

@@ -1,4 +1,11 @@
 // Additional EmitSink implementations for examples and tools.
+//
+// Every sink reports delivery failures as Status (kUnavailable for
+// transient output-stream trouble) instead of silently swallowing badbit;
+// the engine's per-sink isolation (retry / dead-letter / quarantine) is
+// built on that contract. The stream-writing sinks also carry the
+// "sink.emit" fault point so chaos runs (SERAPH_FAULT_POINTS) can fail
+// deliveries without a broken consumer.
 #ifndef SERAPH_SERAPH_SINKS_H_
 #define SERAPH_SERAPH_SINKS_H_
 
@@ -6,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "seraph/continuous_engine.h"
 
 namespace seraph {
@@ -21,8 +29,8 @@ class PrintingSink final : public EmitSink {
                bool include_empty = false)
       : os_(os), columns_(std::move(columns)), include_empty_(include_empty) {}
 
-  void OnResult(const std::string& query_name, Timestamp evaluation_time,
-                const TimeAnnotatedTable& table) override;
+  Status OnResult(const std::string& query_name, Timestamp evaluation_time,
+                  const TimeAnnotatedTable& table) override;
 
  private:
   std::ostream* os_;
@@ -41,8 +49,8 @@ class CsvSink final : public EmitSink {
   CsvSink(std::ostream* os, std::vector<std::string> columns)
       : os_(os), columns_(std::move(columns)) {}
 
-  void OnResult(const std::string& query_name, Timestamp evaluation_time,
-                const TimeAnnotatedTable& table) override;
+  Status OnResult(const std::string& query_name, Timestamp evaluation_time,
+                  const TimeAnnotatedTable& table) override;
 
  private:
   std::ostream* os_;
@@ -60,8 +68,8 @@ class JsonLinesSink final : public EmitSink {
   explicit JsonLinesSink(std::ostream* os, bool include_empty = true)
       : os_(os), include_empty_(include_empty) {}
 
-  void OnResult(const std::string& query_name, Timestamp evaluation_time,
-                const TimeAnnotatedTable& table) override;
+  Status OnResult(const std::string& query_name, Timestamp evaluation_time,
+                  const TimeAnnotatedTable& table) override;
 
  private:
   std::ostream* os_;
@@ -71,10 +79,11 @@ class JsonLinesSink final : public EmitSink {
 // Counts results and rows (benchmarks; avoids result retention).
 class CountingSink final : public EmitSink {
  public:
-  void OnResult(const std::string&, Timestamp,
-                const TimeAnnotatedTable& table) override {
+  Status OnResult(const std::string&, Timestamp,
+                  const TimeAnnotatedTable& table) override {
     ++evaluations_;
     rows_ += static_cast<int64_t>(table.table.size());
+    return Status::OK();
   }
 
   int64_t evaluations() const { return evaluations_; }
@@ -87,6 +96,39 @@ class CountingSink final : public EmitSink {
  private:
   int64_t evaluations_ = 0;
   int64_t rows_ = 0;
+};
+
+// Decorator retrying an inner sink's transient failures per a
+// RetryPolicy. The engine already retries per-sink when a policy is
+// configured through AddSink; this decorator serves sinks attached to
+// code paths without engine-level isolation (tools, tests) and keeps its
+// own counters.
+class RetryingSink final : public EmitSink {
+ public:
+  RetryingSink(EmitSink* inner, RetryPolicy policy)
+      : inner_(inner), policy_(policy) {}
+
+  Status OnResult(const std::string& query_name, Timestamp evaluation_time,
+                  const TimeAnnotatedTable& table) override {
+    Status status;
+    for (int attempt = 1;; ++attempt) {
+      status = inner_->OnResult(query_name, evaluation_time, table);
+      if (status.ok()) return status;
+      if (!policy_.ShouldRetry(status, attempt)) return status;
+      ++retries_;
+      backoff_millis_total_ += policy_.DelayMillisFor(attempt);
+    }
+  }
+
+  int64_t retries() const { return retries_; }
+  // Cumulative deterministic backoff (accounted, not slept).
+  int64_t backoff_millis_total() const { return backoff_millis_total_; }
+
+ private:
+  EmitSink* inner_;
+  RetryPolicy policy_;
+  int64_t retries_ = 0;
+  int64_t backoff_millis_total_ = 0;
 };
 
 }  // namespace seraph

@@ -1,8 +1,25 @@
 #include "seraph/stream_driver.h"
 
+#include "common/logging.h"
+
 namespace seraph {
 
+void StreamDriver::EnsureMetrics() {
+  if (delivered_counter_ != nullptr) return;
+  MetricsRegistry& registry = engine_->metrics();
+  const MetricLabels labels{{"consumer", options_.consumer}};
+  delivered_counter_ =
+      registry.CounterFor("seraph_driver_delivered_total", labels);
+  retries_counter_ = registry.CounterFor("seraph_driver_retries_total", labels);
+  dead_letter_counter_ =
+      registry.CounterFor("seraph_driver_dead_lettered_total", labels);
+  reseeks_counter_ = registry.CounterFor("seraph_driver_reseeks_total", labels);
+  backoff_counter_ =
+      registry.CounterFor("seraph_driver_backoff_millis_total", labels);
+}
+
 Status StreamDriver::Deliver(const StreamElement& element) {
+  SERAPH_FAULT_POINT("driver.deliver");
   SERAPH_RETURN_IF_ERROR(engine_->IngestTo(options_.target_stream,
                                            element.graph, element.timestamp));
   if (!delivered_any_ || element.timestamp > delivered_horizon_) {
@@ -12,23 +29,119 @@ Status StreamDriver::Deliver(const StreamElement& element) {
   return Status::OK();
 }
 
+Status StreamDriver::DeliverWithRetry(const StreamElement& element) {
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = Deliver(element);
+    if (status.ok()) return status;
+    if (!options_.delivery_retry.ShouldRetry(status, attempt)) return status;
+    ++retries_;
+    retries_counter_->Increment();
+    // Deterministic backoff, accounted rather than slept (simulated
+    // time; see common/fault.h).
+    backoff_counter_->Increment(
+        options_.delivery_retry.DelayMillisFor(attempt));
+  }
+}
+
+Result<bool> StreamDriver::TryConsume(const StreamElement& element,
+                                      int* attempts) {
+  Status status = DeliverWithRetry(element);
+  if (status.ok()) {
+    *attempts = 0;
+    ++delivered_total_;
+    delivered_counter_->Increment();
+    return true;
+  }
+  ++*attempts;
+  const bool budget_spent = *attempts >= options_.element_error_budget;
+  if ((!status.IsTransient() || budget_spent) &&
+      options_.dead_letter != nullptr) {
+    // Poison: quarantine the element instead of wedging the pump.
+    options_.dead_letter->AddElement(options_.consumer, element, status,
+                                     *attempts);
+    ++dead_lettered_;
+    dead_letter_counter_->Increment();
+    SERAPH_LOG(WARNING) << "dead-lettering element at "
+                        << element.timestamp.ToString() << " after "
+                        << *attempts << " failed pump(s): " << status;
+    *attempts = 0;
+    return false;
+  }
+  return status;
+}
+
+Status StreamDriver::DrainPending(int64_t* delivered) {
+  while (!pending_.empty()) {
+    SERAPH_ASSIGN_OR_RETURN(bool was_delivered,
+                            TryConsume(pending_.front(), &pending_attempts_));
+    pending_.pop_front();
+    if (was_delivered) ++*delivered;
+  }
+  return Status::OK();
+}
+
 Result<int64_t> StreamDriver::PumpAll() {
+  EnsureMetrics();
   int64_t delivered = 0;
+  // Elements released by an earlier pump whose delivery failed retry
+  // first, preserving timestamp order into the engine.
+  SERAPH_RETURN_IF_ERROR(DrainPending(&delivered));
   while (true) {
+    const size_t batch_start = queue_->OffsetOf(options_.consumer);
     auto batch = queue_->Poll(options_.consumer, options_.poll_batch);
-    if (batch.empty()) break;
-    for (const StreamElement& element : batch) {
+    // A failed poll consumed nothing; surface it and let the caller
+    // re-pump.
+    if (!batch.ok()) return batch.status();
+    if (batch->empty()) break;
+    size_t consumed = 0;  // Elements of this batch safely handed off.
+    Status error;
+    for (const StreamElement& element : *batch) {
       if (reorder_.has_value()) {
+        // Offering transfers custody to the (driver-owned) buffer: the
+        // element is either held, or counted as a late drop. Releases
+        // are parked in pending_ so a failed delivery cannot lose them
+        // (they are no longer re-pollable from the queue).
         reorder_->Offer(element.graph, element.timestamp);
-        for (const StreamElement& released : reorder_->Release()) {
-          SERAPH_RETURN_IF_ERROR(Deliver(released));
-          ++delivered;
+        ++consumed;
+        for (StreamElement& released : reorder_->Release()) {
+          pending_.push_back(std::move(released));
         }
+        error = DrainPending(&delivered);
+        if (!error.ok()) break;
       } else {
-        SERAPH_RETURN_IF_ERROR(Deliver(element));
-        ++delivered;
+        const size_t offset = batch_start + consumed;
+        if (offset != failing_offset_) {
+          failing_offset_ = offset;
+          failing_attempts_ = 0;
+        }
+        auto consumed_result = TryConsume(element, &failing_attempts_);
+        if (!consumed_result.ok()) {
+          error = consumed_result.status();
+          break;
+        }
+        if (*consumed_result) ++delivered;
+        ++consumed;
       }
     }
+    if (consumed < batch->size()) {
+      // Commit only what was handed off; the failing element and its
+      // successors are re-polled by the next pump (at-least-once with
+      // the engine's order checks making redelivery exact-once).
+      Status seek = queue_->Seek(options_.consumer, batch_start + consumed);
+      if (!seek.ok()) {
+        // The offset is within the polled range by construction; a
+        // failing seek means the queue itself regressed.
+        return Status::Internal("recovery seek failed: " + seek.ToString());
+      }
+      ++reseeks_;
+      reseeks_counter_->Increment();
+      return error;
+    }
+    // A delivery failure on the batch's final element leaves nothing to
+    // re-poll (everything was consumed into the buffer / pending queue)
+    // but must still surface so the caller re-pumps the pending work.
+    if (!error.ok()) return error;
   }
   if (delivered_any_) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
@@ -37,11 +150,14 @@ Result<int64_t> StreamDriver::PumpAll() {
 }
 
 Status StreamDriver::Finish() {
+  EnsureMetrics();
   if (reorder_.has_value()) {
-    for (const StreamElement& released : reorder_->Flush()) {
-      SERAPH_RETURN_IF_ERROR(Deliver(released));
+    for (StreamElement& released : reorder_->Flush()) {
+      pending_.push_back(std::move(released));
     }
   }
+  int64_t delivered = 0;
+  SERAPH_RETURN_IF_ERROR(DrainPending(&delivered));
   if (delivered_any_) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
   }

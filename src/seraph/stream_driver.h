@@ -9,13 +9,29 @@
 //                       {.allowed_lateness = Duration::FromMinutes(1)});
 //   ... while producing: driver.PumpAll();   // deliver + evaluate
 //   driver.Finish();                         // flush + final evaluations
+//
+// Delivery is loss-free under transient failures (docs/INTERNALS.md,
+// "Failure model"):
+//  * consumer offsets are committed only after successful hand-off — on a
+//    delivery failure the driver re-seeks to the first unconsumed offset,
+//    so the next PumpAll re-polls exactly the in-flight elements;
+//  * elements released by the reorder buffer whose delivery fails are
+//    parked in a pending queue (in timestamp order) and retried first on
+//    the next pump — nothing released is ever dropped;
+//  * transient failures are retried in-pump per `delivery_retry`; an
+//    element still failing after `element_error_budget` pumps (or failing
+//    permanently) is routed to the dead-letter queue instead of aborting
+//    the pump forever.
 #ifndef SERAPH_SERAPH_STREAM_DRIVER_H_
 #define SERAPH_SERAPH_STREAM_DRIVER_H_
 
+#include <deque>
 #include <optional>
 #include <string>
 
+#include "common/fault.h"
 #include "seraph/continuous_engine.h"
+#include "seraph/dead_letter.h"
 #include "stream/event_queue.h"
 #include "stream/reorder_buffer.h"
 
@@ -34,6 +50,18 @@ class StreamDriver {
     std::optional<Duration> allowed_lateness;
     // Max elements fetched per queue poll.
     size_t poll_batch = 64;
+    // In-pump retries of transient (kUnavailable) delivery failures.
+    // Backoff delays are deterministic and accounted, not slept.
+    RetryPolicy delivery_retry;
+    // Failed pumps an element may accumulate before it is declared
+    // poison and routed to `dead_letter` (each pump already spends
+    // `delivery_retry.max_attempts` tries). Permanent (non-transient)
+    // errors skip the budget and dead-letter immediately.
+    int element_error_budget = 3;
+    // Destination for poison elements (not owned). When null, poison
+    // elements keep failing the pump instead of being dropped — the
+    // caller decides; nothing is ever lost silently.
+    DeadLetterQueue* dead_letter = nullptr;
   };
 
   StreamDriver(EventQueue* queue, ContinuousEngine* engine, Options options)
@@ -47,11 +75,17 @@ class StreamDriver {
 
   // Polls the queue until empty, delivering releasable elements to the
   // engine and advancing its clock to the delivered horizon (which
-  // triggers due evaluations). Returns the number of elements delivered.
+  // triggers due evaluations). Returns the number of elements delivered
+  // by this pump. On a transient failure that survives the retry policy
+  // the pump returns the error with nothing lost: unconsumed queue
+  // elements stay behind the (re-seeked) consumer offset, released
+  // elements stay in the pending queue, and the next PumpAll resumes
+  // exactly there.
   Result<int64_t> PumpAll();
 
   // Flushes any held out-of-order elements and runs the engine's final
-  // due evaluations.
+  // due evaluations. Drain-safe: callable after a failed pump (retries
+  // pending elements first) and idempotent on success.
   Status Finish();
 
   // Elements rejected as too late (only with allowed_lateness).
@@ -59,15 +93,54 @@ class StreamDriver {
     return reorder_.has_value() ? reorder_->dropped() : 0;
   }
 
+  // Released-but-undelivered elements parked for the next pump.
+  size_t pending() const { return pending_.size(); }
+  // Cumulative elements delivered to the engine across pumps.
+  int64_t delivered_total() const { return delivered_total_; }
+  // Cumulative in-pump delivery retries.
+  int64_t retries() const { return retries_; }
+  // Poison elements routed to the dead-letter queue.
+  int64_t dead_lettered() const { return dead_lettered_; }
+  // Offset rollbacks after mid-batch failures.
+  int64_t reseeks() const { return reseeks_; }
+
  private:
   Status Deliver(const StreamElement& element);
+  // Deliver with in-pump retries per options_.delivery_retry.
+  Status DeliverWithRetry(const StreamElement& element);
+  // Tries to consume one element: returns true when delivered, false
+  // when dead-lettered, or a transient error when the element should be
+  // retried on a later pump. `attempts` carries the element's failed-pump
+  // count across pumps and is zeroed once the element is consumed.
+  Result<bool> TryConsume(const StreamElement& element, int* attempts);
+  // Delivers queued pending elements in order, stopping at the first
+  // element that must wait for a later pump.
+  Status DrainPending(int64_t* delivered);
+  // Registers driver metrics with the engine's registry (idempotent).
+  void EnsureMetrics();
 
   EventQueue* queue_;
   ContinuousEngine* engine_;
   Options options_;
   std::optional<ReorderBuffer> reorder_;
+  // Released from the reorder buffer but not yet accepted by the engine.
+  std::deque<StreamElement> pending_;
+  int pending_attempts_ = 0;
+  // Direct-path poison tracking, keyed by queue offset.
+  size_t failing_offset_ = 0;
+  int failing_attempts_ = 0;
   Timestamp delivered_horizon_;
   bool delivered_any_ = false;
+  int64_t delivered_total_ = 0;
+  int64_t retries_ = 0;
+  int64_t dead_lettered_ = 0;
+  int64_t reseeks_ = 0;
+  // Cached registry handles (owned by the engine's registry).
+  Counter* delivered_counter_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+  Counter* dead_letter_counter_ = nullptr;
+  Counter* reseeks_counter_ = nullptr;
+  Counter* backoff_counter_ = nullptr;
 };
 
 }  // namespace seraph

@@ -1,9 +1,13 @@
 #include "stream/event_queue.h"
 
+#include "common/fault.h"
+
 namespace seraph {
 
-std::vector<StreamElement> EventQueue::Poll(const std::string& consumer,
-                                            size_t max_events) {
+Result<std::vector<StreamElement>> EventQueue::Poll(
+    const std::string& consumer, size_t max_events) {
+  // Fires before the offset moves: a failed poll consumes nothing.
+  SERAPH_FAULT_POINT("queue.poll");
   size_t& offset = offsets_[consumer];
   std::vector<StreamElement> out;
   while (offset < log_.size() && out.size() < max_events) {
@@ -19,6 +23,11 @@ Status EventQueue::Seek(const std::string& consumer, size_t offset) {
   }
   offsets_[consumer] = offset;
   return Status::OK();
+}
+
+size_t EventQueue::OffsetOf(const std::string& consumer) const {
+  auto it = offsets_.find(consumer);
+  return it == offsets_.end() ? 0 : it->second;
 }
 
 }  // namespace seraph

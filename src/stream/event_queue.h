@@ -17,9 +17,15 @@
 
 namespace seraph {
 
+// Poll / Seek / OffsetOf are virtual so fault-tolerance tests can model
+// a flaky transport (see tests/fault_doubles.h); the queue also carries
+// the "queue.poll" fault point. Poll can therefore fail like a real
+// broker call — a failed poll consumes nothing (the offset is only
+// advanced after the log read succeeds), so callers simply re-poll.
 class EventQueue {
  public:
   EventQueue() = default;
+  virtual ~EventQueue() = default;
 
   // Appends an event; timestamps must be non-decreasing (the queue is the
   // stream order authority).
@@ -35,12 +41,16 @@ class EventQueue {
   void Subscribe(const std::string& consumer) { offsets_[consumer] = 0; }
 
   // Returns up to `max_events` events past the consumer's offset and
-  // advances it. Unknown consumers start at offset 0.
-  std::vector<StreamElement> Poll(const std::string& consumer,
-                                  size_t max_events);
+  // advances it. Unknown consumers start at offset 0. A transient
+  // transport failure (injected or simulated) advances nothing.
+  virtual Result<std::vector<StreamElement>> Poll(const std::string& consumer,
+                                                  size_t max_events);
 
-  // Repositions a consumer (replay support).
-  Status Seek(const std::string& consumer, size_t offset);
+  // Repositions a consumer (replay / delivery-failure recovery).
+  virtual Status Seek(const std::string& consumer, size_t offset);
+
+  // The consumer's committed offset (0 for unknown consumers).
+  virtual size_t OffsetOf(const std::string& consumer) const;
 
   size_t size() const { return log_.size(); }
   const PropertyGraphStream& log() const { return log_; }

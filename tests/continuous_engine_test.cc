@@ -118,9 +118,10 @@ TEST(ContinuousEngineTest, MultiQueryChronologicalTimeline) {
   ContinuousEngine engine;
   struct OrderSink : EmitSink {
     std::vector<std::pair<std::string, Timestamp>> calls;
-    void OnResult(const std::string& name, Timestamp t,
-                  const TimeAnnotatedTable&) override {
+    Status OnResult(const std::string& name, Timestamp t,
+                    const TimeAnnotatedTable&) override {
       calls.emplace_back(name, t);
+      return Status::OK();
     }
   } sink;
   engine.AddSink(&sink);

@@ -3,6 +3,7 @@
 // brute-force oracle over randomized graphs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "cypher/executor.h"
@@ -18,13 +19,23 @@ namespace {
 // Parser robustness
 // ---------------------------------------------------------------------------
 
+// Round multiplier for fuzz loops; CI sets SERAPH_FUZZ_ROUNDS to fuzz
+// harder under sanitizers without slowing local runs.
+int FuzzRounds(int base) {
+  if (const char* env = std::getenv("SERAPH_FUZZ_ROUNDS")) {
+    long factor = std::strtol(env, nullptr, 10);
+    if (factor > 1) return base * static_cast<int>(factor);
+  }
+  return base;
+}
+
 class ParserFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
   std::mt19937_64 rng(GetParam());
   std::uniform_int_distribution<int> len_dist(0, 200);
   std::uniform_int_distribution<int> chr(32, 126);
-  for (int round = 0; round < 50; ++round) {
+  for (int round = 0; round < FuzzRounds(50); ++round) {
     std::string text;
     int len = len_dist(rng);
     for (int i = 0; i < len; ++i) {
@@ -49,12 +60,51 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
       "REGISTER", "QUERY", "STARTING", "AT", "ON", "ENTERING", "SNAPSHOT"};
   std::uniform_int_distribution<int> len_dist(1, 40);
   std::uniform_int_distribution<size_t> piece(0, std::size(kPieces) - 1);
-  for (int round = 0; round < 50; ++round) {
+  for (int round = 0; round < FuzzRounds(50); ++round) {
     std::string text;
     int len = len_dist(rng);
     for (int i = 0; i < len; ++i) {
       text += kPieces[piece(rng)];
       text += ' ';
+    }
+    (void)ParseCypherQuery(text);
+    (void)ParseSeraphQuery(text);
+  }
+}
+
+TEST_P(ParserFuzzTest, ArbitraryBytesIncludingNonPrintableNeverCrash) {
+  // Full byte range: NULs, control characters, high-bit bytes — the
+  // lexer must treat them as data, never as something to trust.
+  std::mt19937_64 rng(GetParam() + 2000);
+  std::uniform_int_distribution<int> len_dist(0, 300);
+  std::uniform_int_distribution<int> chr(0, 255);
+  for (int round = 0; round < FuzzRounds(50); ++round) {
+    std::string text;
+    int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>(chr(rng));
+    }
+    (void)ParseCypherQuery(text);
+    (void)ParseSeraphQuery(text);
+  }
+}
+
+TEST_P(ParserFuzzTest, ValidQueriesWithInjectedByteNoiseNeverCrash) {
+  // Start from a valid query and corrupt a few positions with arbitrary
+  // bytes — exercises deeper parser states than pure byte soup reaches.
+  std::mt19937_64 rng(GetParam() + 3000);
+  const std::string base =
+      "REGISTER QUERY q STARTING AT 2022-10-14T14:45h { MATCH "
+      "(b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT1H WHERE b.id > 3 "
+      "EMIT b.id, count(*) ON ENTERING EVERY PT5M }";
+  std::uniform_int_distribution<size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> chr(0, 255);
+  std::uniform_int_distribution<int> edits(1, 6);
+  for (int round = 0; round < FuzzRounds(50); ++round) {
+    std::string text = base;
+    int n = edits(rng);
+    for (int i = 0; i < n; ++i) {
+      text[pos(rng)] = static_cast<char>(chr(rng));
     }
     (void)ParseCypherQuery(text);
     (void)ParseSeraphQuery(text);
@@ -92,6 +142,37 @@ TEST(ParserRobustnessTest, DeepNestingDoesNotOverflow) {
   std::string unbalanced = "RETURN ";
   for (int i = 0; i < 500; ++i) unbalanced += '(';
   EXPECT_FALSE(ParseCypherQuery(unbalanced).ok());
+}
+
+TEST(ParserRobustnessTest, PathologicalNestingIsARejectedParseError) {
+  // Way past Parser::kMaxExpressionDepth: the depth guard must turn the
+  // would-be stack overflow into a clean kParseError (balanced or not,
+  // parens or list brackets alike).
+  constexpr int kDepth = 20'000;
+  std::string parens = "RETURN ";
+  for (int i = 0; i < kDepth; ++i) parens += '(';
+  parens += "1";
+  for (int i = 0; i < kDepth; ++i) parens += ')';
+  auto deep = ParseCypherQuery(parens);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kParseError);
+
+  std::string brackets = "RETURN ";
+  for (int i = 0; i < kDepth; ++i) brackets += '[';
+  auto deep_list = ParseCypherQuery(brackets);
+  ASSERT_FALSE(deep_list.ok());
+  EXPECT_EQ(deep_list.status().code(), StatusCode::kParseError);
+
+  std::string mixed = "RETURN ";
+  for (int i = 0; i < kDepth; ++i) mixed += (i % 2 == 0) ? '(' : '[';
+  EXPECT_FALSE(ParseCypherQuery(mixed).ok());
+
+  // The same guard protects the Seraph wrapper grammar.
+  std::string seraph =
+      "REGISTER QUERY q STARTING AT 2022-10-14T14:45h { MATCH (n) WITHIN "
+      "PT1H WHERE ";
+  for (int i = 0; i < kDepth; ++i) seraph += '(';
+  EXPECT_FALSE(ParseSeraphQuery(seraph).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -75,12 +75,15 @@ TEST(EventQueueTest, ProduceAndPoll) {
   ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());
   q.Subscribe("engine");
   auto batch1 = q.Poll("engine", 2);
-  ASSERT_EQ(batch1.size(), 2u);
-  EXPECT_EQ(batch1[0].timestamp, T(1));
+  ASSERT_TRUE(batch1.ok());
+  ASSERT_EQ(batch1->size(), 2u);
+  EXPECT_EQ((*batch1)[0].timestamp, T(1));
   auto batch2 = q.Poll("engine", 10);
-  ASSERT_EQ(batch2.size(), 1u);
-  EXPECT_EQ(batch2[0].timestamp, T(3));
-  EXPECT_TRUE(q.Poll("engine", 10).empty());
+  ASSERT_TRUE(batch2.ok());
+  ASSERT_EQ(batch2->size(), 1u);
+  EXPECT_EQ((*batch2)[0].timestamp, T(3));
+  EXPECT_TRUE(q.Poll("engine", 10)->empty());
+  EXPECT_EQ(q.OffsetOf("engine"), 3u);
 }
 
 TEST(EventQueueTest, IndependentConsumers) {
@@ -88,8 +91,8 @@ TEST(EventQueueTest, IndependentConsumers) {
   ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
   q.Subscribe("a");
   q.Subscribe("b");
-  EXPECT_EQ(q.Poll("a", 10).size(), 1u);
-  EXPECT_EQ(q.Poll("b", 10).size(), 1u);
+  EXPECT_EQ(q.Poll("a", 10)->size(), 1u);
+  EXPECT_EQ(q.Poll("b", 10)->size(), 1u);
 }
 
 TEST(EventQueueTest, SeekReplays) {
@@ -97,16 +100,19 @@ TEST(EventQueueTest, SeekReplays) {
   ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
   ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
   q.Subscribe("c");
-  EXPECT_EQ(q.Poll("c", 10).size(), 2u);
+  EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
   ASSERT_TRUE(q.Seek("c", 0).ok());
-  EXPECT_EQ(q.Poll("c", 10).size(), 2u);
+  EXPECT_EQ(q.OffsetOf("c"), 0u);
+  EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
   EXPECT_FALSE(q.Seek("c", 5).ok());
 }
 
 TEST(EventQueueTest, UnknownConsumerStartsAtZero) {
   EventQueue q;
   ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
-  EXPECT_EQ(q.Poll("fresh", 10).size(), 1u);
+  EXPECT_EQ(q.OffsetOf("fresh"), 0u);
+  EXPECT_EQ(q.Poll("fresh", 10)->size(), 1u);
+  EXPECT_EQ(q.OffsetOf("fresh"), 1u);
 }
 
 }  // namespace

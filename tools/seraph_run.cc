@@ -2,7 +2,7 @@
 //
 //   seraph_run <query.seraph> <events.log> [--csv | --json] [--stats]
 //              [--explain] [--metrics=<path|->] [--trace=<path>]
-//              [--progress=<n>]
+//              [--progress=<n>] [--dead-letter=<path>]
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
 // the text format of io/graph_text.h (`@ <ISO datetime>` headers followed
@@ -23,6 +23,17 @@
 //                     events (and advance the engine as events arrive, so
 //                     the counters are live). Requires a chronologically
 //                     ordered event log.
+//
+// Fault tolerance (docs/INTERNALS.md, "Failure model"):
+//   --dead-letter=<path>  capture results permanently rejected by the
+//                     output sink as JSON lines at <path> instead of
+//                     losing them; a summary goes to stderr. The sink is
+//                     retried on transient failures and quarantined after
+//                     repeated ones.
+//   SERAPH_FAULT_SEED / SERAPH_FAULT_POINTS  environment knobs arming
+//                     the deterministic fault injector (e.g.
+//                     SERAPH_FAULT_POINTS="sink.emit=0.05") for chaos
+//                     runs; see common/fault.h.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,9 +41,11 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/trace.h"
 #include "io/graph_text.h"
 #include "seraph/continuous_engine.h"
+#include "seraph/dead_letter.h"
 #include "seraph/seraph_parser.h"
 #include "seraph/sinks.h"
 
@@ -87,6 +100,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string dead_letter_path;
   long progress_every = 0;
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
@@ -107,6 +121,10 @@ int main(int argc, char** argv) {
       if (trace_path.empty()) {
         return Fail("--trace expects a file path");
       }
+    } else if (FlagValue(arg, "--dead-letter=", &dead_letter_path)) {
+      if (dead_letter_path.empty()) {
+        return Fail("--dead-letter expects a file path");
+      }
     } else if (FlagValue(arg, "--progress=", &value)) {
       progress_every = std::strtol(value.c_str(), nullptr, 10);
       if (progress_every <= 0) {
@@ -117,7 +135,8 @@ int main(int argc, char** argv) {
           << "usage: seraph_run <query.seraph> <events.log> "
              "[--csv | --json] [--stats] [--explain]\n"
              "                  [--metrics=<path|->] [--trace=<path>] "
-             "[--progress=<n>]\n";
+             "[--progress=<n>]\n"
+             "                  [--dead-letter=<path>]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -147,23 +166,32 @@ int main(int argc, char** argv) {
   }
   std::string name = query->name;
 
+  // Environment-driven fault injection for chaos runs (no-op unless
+  // SERAPH_FAULT_SEED / SERAPH_FAULT_POINTS are set).
+  FaultInjector::Global().ConfigureFromEnv();
+
   TraceRecorder tracer;
+  DeadLetterQueue dead_letters;
   EngineOptions options;
   if (!trace_path.empty()) {
     tracer.Enable();
     options.tracer = &tracer;
   }
+  if (!dead_letter_path.empty()) {
+    options.dead_letter = &dead_letters;
+  }
   ContinuousEngine engine(options);
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
   JsonLinesSink json_sink(&std::cout, /*include_empty=*/false);
-  if (csv) {
-    engine.AddSink(&csv_sink);
-  } else if (json) {
-    engine.AddSink(&json_sink);
-  } else {
-    engine.AddSink(&printer);
-  }
+  // With a dead-letter destination the sink gets the full isolation
+  // treatment: transient failures retried, permanent rejections captured.
+  SinkPolicy sink_policy;
+  sink_policy.retry.max_attempts = 3;
+  EmitSink* output = csv ? static_cast<EmitSink*>(&csv_sink)
+                         : json ? static_cast<EmitSink*>(&json_sink)
+                                : static_cast<EmitSink*>(&printer);
+  engine.AddSink(output, "output", sink_policy);
   if (Status s = engine.Register(std::move(query).value()); !s.ok()) {
     return Fail(s.ToString());
   }
@@ -211,6 +239,27 @@ int main(int argc, char** argv) {
       std::ofstream out(metrics_path);
       if (!out) return Fail("cannot open metrics file '" + metrics_path + "'");
       out << text;
+    }
+  }
+  if (!dead_letter_path.empty()) {
+    if (!dead_letters.empty()) {
+      std::ofstream out(dead_letter_path);
+      if (!out) {
+        return Fail("cannot open dead-letter file '" + dead_letter_path + "'");
+      }
+      if (Status s = dead_letters.WriteJsonLines(&out); !s.ok()) {
+        return Fail(s.ToString());
+      }
+      std::cerr << "[seraph_run] " << dead_letters.size()
+                << " dead-lettered entr"
+                << (dead_letters.size() == 1 ? "y" : "ies") << " written to "
+                << dead_letter_path
+                << (engine.SinkQuarantined("output")
+                        ? " (output sink quarantined)"
+                        : "")
+                << "\n";
+    } else {
+      std::cerr << "[seraph_run] no dead-lettered entries\n";
     }
   }
   if (!trace_path.empty()) {
