@@ -1,0 +1,139 @@
+// Parallel multi-query evaluation: N copies of the same query over one
+// shared stream, evaluated with 1/2/4/8 worker threads. Since the copies
+// share the ET grid, every instant is one batch of N concurrent
+// evaluations — the best case the batch-barrier scheduler is built for.
+// Each parallel run is also checked against the serial run for identical
+// results (content and delivery order), so the speedup numbers can never
+// come from dropping or reordering work.
+//
+// Interpreting the numbers: the scheduler can only use as many hardware
+// threads as the host exposes — on a single-core machine (some CI
+// containers) every thread count degenerates to serial plus scheduling
+// overhead, and no speedup is expected. Compare real_time across the
+// thread counts on a multicore host.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+#include "workloads/bike_sharing.h"
+
+namespace {
+
+using namespace seraph;
+
+constexpr int kQueries = 16;
+
+std::string CopyQuery(int index) {
+  // A MATCH with a join so stage 3 has real CPU work to parallelize.
+  return "REGISTER QUERY pq" + std::to_string(index) +
+         " STARTING AT '1970-01-01T00:05' { "
+         "MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT30M "
+         "EMIT r.user_id, s.id ON ENTERING EVERY PT5M }";
+}
+
+const std::vector<workloads::Event>& Events() {
+  static auto* events = [] {
+    workloads::BikeSharingConfig config;
+    config.num_events = 96;  // 8 hours at one event per 5 minutes.
+    config.num_users = 60;
+    config.num_stations = 30;
+    return new std::vector<workloads::Event>(
+        workloads::GenerateBikeSharingStream(config));
+  }();
+  return *events;
+}
+
+struct Delivery {
+  std::string query;
+  Timestamp t;
+  TimeAnnotatedTable table;
+};
+
+struct OrderSink : EmitSink {
+  std::vector<Delivery> calls;
+  Status OnResult(const std::string& name, Timestamp t,
+                  const TimeAnnotatedTable& table) override {
+    calls.push_back({name, t, table});
+    return Status::OK();
+  }
+};
+
+// Runs the fleet; `*ok` reports whether every step succeeded.
+std::vector<Delivery> RunFleet(int eval_threads, bool* ok) {
+  *ok = true;
+  EngineOptions options;
+  options.eval_threads = eval_threads;
+  ContinuousEngine engine(options);
+  OrderSink sink;
+  engine.AddSink(&sink);
+  for (int i = 0; i < kQueries; ++i) {
+    if (!engine.RegisterText(CopyQuery(i)).ok()) {
+      *ok = false;
+      return {};
+    }
+  }
+  for (const auto& event : Events()) {
+    (void)engine.Ingest(event.graph, event.timestamp);
+  }
+  if (!engine.Drain().ok()) {
+    *ok = false;
+    return {};
+  }
+  return std::move(sink.calls);
+}
+
+bool SameDeliveries(const std::vector<Delivery>& a,
+                    const std::vector<Delivery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query != b[i].query || !(a[i].t == b[i].t) ||
+        !(a[i].table == b[i].table)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BM_ParallelQueryFleet(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  // Serial oracle, computed once: the parallel engine must reproduce it
+  // exactly.
+  static auto* oracle = new std::vector<Delivery>([] {
+    bool ok = false;
+    auto calls = RunFleet(1, &ok);
+    if (!ok) calls.clear();
+    return calls;
+  }());
+  if (oracle->empty()) {
+    state.SkipWithError("serial oracle run failed");
+    return;
+  }
+  for (auto _ : state) {
+    bool ok = false;
+    std::vector<Delivery> got = RunFleet(threads, &ok);
+    if (!ok) {
+      state.SkipWithError("fleet run failed");
+      return;
+    }
+    if (!SameDeliveries(got, *oracle)) {
+      state.SkipWithError("parallel run diverged from serial run");
+      return;
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["queries"] = kQueries;
+  state.counters["threads"] = threads;
+  state.SetLabel(std::to_string(kQueries) + " queries, " +
+                 std::to_string(threads) + " thread(s)");
+}
+BENCHMARK(BM_ParallelQueryFleet)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -24,7 +24,10 @@ FaultInjector& FaultInjector::Global() {
   return *kInstance;
 }
 
-void FaultInjector::Seed(uint64_t seed) { rng_.seed(seed); }
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.seed(seed);
+}
 
 void FaultInjector::ArmProbability(const std::string& point,
                                    double probability) {
@@ -32,7 +35,9 @@ void FaultInjector::ArmProbability(const std::string& point,
   p.mode = Point::Mode::kProbability;
   p.probability = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0
                                                                : probability);
+  std::lock_guard<std::mutex> lock(mu_);
   points_[point] = std::move(p);
+  armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmSchedule(const std::string& point,
@@ -40,22 +45,32 @@ void FaultInjector::ArmSchedule(const std::string& point,
   Point p;
   p.mode = Point::Mode::kSchedule;
   p.schedule.insert(hits.begin(), hits.end());
+  std::lock_guard<std::mutex> lock(mu_);
   points_[point] = std::move(p);
+  armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmNext(const std::string& point, int64_t n) {
   Point p;
   p.mode = Point::Mode::kNext;
   p.fail_next = n;
+  std::lock_guard<std::mutex> lock(mu_);
   points_[point] = std::move(p);
+  armed_.store(true, std::memory_order_relaxed);
 }
 
-void FaultInjector::Disarm(const std::string& point) { points_.erase(point); }
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
 
 void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   points_.clear();
   hits_.clear();
   failures_.clear();
+  armed_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::ConfigureFromEnv() {
@@ -87,6 +102,7 @@ void FaultInjector::ConfigureFromEnv() {
 }
 
 Status FaultInjector::Fire(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   int64_t hit = ++hits_[point];
@@ -115,11 +131,13 @@ Status FaultInjector::Fire(const std::string& point) {
 }
 
 int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hits_.find(point);
   return it == hits_.end() ? 0 : it->second;
 }
 
 int64_t FaultInjector::failures(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = failures_.find(point);
   return it == failures_.end() ? 0 : it->second;
 }

@@ -24,8 +24,10 @@
 #ifndef SERAPH_COMMON_FAULT_H_
 #define SERAPH_COMMON_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <random>
 #include <set>
 #include <string>
@@ -68,9 +70,13 @@ struct RetryPolicy {
 //   ArmSchedule("sink.emit", {2, 3, 7});     // exactly hits #2, #3, #7
 //   ArmNext("queue.poll", 2);                // the next two hits
 //
-// All state is deterministic given the seed and the hit sequence. Not
-// thread-safe (the engine is single-threaded by design). Tests arm
-// points through the Global() instance and must Reset() it when done.
+// All state is deterministic given the seed and the hit sequence.
+// Thread-safe: Fire and the arm/disarm mutators are mutex-guarded (the
+// parallel engine may hit fault points from worker threads), and the
+// disarmed fast path (`armed()`) stays a single atomic load. Note that
+// with probability points, concurrent firing threads make the *mapping*
+// of RNG draws to hits schedule-dependent — deterministic chaos tests
+// keep fault points on coordinator-driven paths.
 class FaultInjector {
  public:
   FaultInjector() : rng_(kDefaultSeed) {}
@@ -103,8 +109,8 @@ class FaultInjector {
   // returns kUnavailable when the point is armed and fires.
   Status Fire(const std::string& point);
 
-  // True when at least one point is armed (fast-path check).
-  bool armed() const { return !points_.empty(); }
+  // True when at least one point is armed (fast-path check; lock-free).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   int64_t hits(const std::string& point) const;
   int64_t failures(const std::string& point) const;
@@ -120,6 +126,10 @@ class FaultInjector {
     int64_t fail_next = 0;       // Remaining forced failures (kNext).
   };
 
+  // Guards every map and the RNG; armed_ mirrors points_.empty() so the
+  // disarmed hot path never takes the lock.
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
   std::map<std::string, Point> points_;
   std::map<std::string, int64_t> hits_;
   std::map<std::string, int64_t> failures_;

@@ -193,6 +193,7 @@ std::string RenderMetricName(const std::string& name,
 
 MetricsRegistry::Series* MetricsRegistry::SeriesFor(
     const std::string& name, const MetricLabels& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [fit, created] = families_.try_emplace(name);
   Family& family = fit->second;
   if (created) family.kind = kind;
@@ -220,6 +221,7 @@ MetricsRegistry::Series* MetricsRegistry::SeriesFor(
 
 const MetricsRegistry::Series* MetricsRegistry::FindSeries(
     const std::string& name, const MetricLabels& labels, Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != kind) return nullptr;
   auto sit = fit->second.series.find(RenderLabels(labels, {}));
@@ -260,6 +262,7 @@ const Histogram* MetricsRegistry::FindHistogram(
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [key, series] : family.series) {
       if (series.counter != nullptr) series.counter->Reset();
@@ -270,12 +273,14 @@ void MetricsRegistry::Reset() {
 }
 
 size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [name, family] : families_) n += family.series.size();
   return n;
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     switch (family.kind) {
@@ -315,6 +320,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, family] : families_) {
     for (const auto& [key, series] : family.series) {

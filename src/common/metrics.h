@@ -5,15 +5,23 @@
 // to every stage of the Fig. 5 pipeline through it (see
 // docs/INTERNALS.md, "Observability").
 //
-// None of this is thread-safe: the engine is single-threaded by design,
-// and exposition is expected to happen between evaluations.
+// Thread-safety (parallel multi-query evaluation runs worker threads
+// against shared registries — see docs/INTERNALS.md, "Parallel
+// evaluation"): Counter and Gauge are atomic; the registry's find-or-
+// create lookups and expositions are mutex-guarded. Histogram is the one
+// single-writer primitive: every histogram the engine registers is
+// per-(query[, stage]) and a query is evaluated by at most one worker at
+// a time, with the batch barrier ordering writes across batches.
+// Exposition is expected to happen between evaluations.
 #ifndef SERAPH_COMMON_METRICS_H_
 #define SERAPH_COMMON_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,27 +66,31 @@ class Histogram {
   int64_t max_ = 0;
 };
 
-// A monotonically increasing count of events.
+// A monotonically increasing count of events. Increments from multiple
+// threads are atomic (relaxed ordering — counters carry no cross-thread
+// synchronization semantics, the engine's batch barrier does).
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-// A point-in-time level that can move both ways.
+// A point-in-time level that can move both ways. Atomic like Counter.
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  void Add(int64_t delta) { value_ += delta; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 // One `key="value"` metric dimension. Order matters for identity: the
@@ -91,6 +103,9 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 // cache; the registry owns every instrument. A metric family (one name)
 // must hold one instrument kind only — asking for a counter under a name
 // already used by a histogram is a programming error (checked).
+// Lookups, expositions, and Reset are mutex-guarded so worker threads may
+// resolve series concurrently; cached instrument pointers bypass the
+// lock entirely.
 //
 // Naming follows Prometheus conventions: `seraph_<subsystem>_<what>`,
 // `_total` suffix for counters, base-unit suffix (`_micros`, `_rows`) for
@@ -152,6 +167,9 @@ class MetricsRegistry {
   const Series* FindSeries(const std::string& name, const MetricLabels& labels,
                            Kind kind) const;
 
+  // Guards families_ (map structure only; instruments are themselves
+  // atomic or single-writer, see the header comment).
+  mutable std::mutex mu_;
   std::map<std::string, Family> families_;
 };
 

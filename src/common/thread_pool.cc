@@ -1,0 +1,65 @@
+#include "common/thread_pool.h"
+
+namespace seraph {
+
+namespace {
+
+// -1 on every thread that is not a pool worker.
+thread_local int tl_worker_id = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> done = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return done;
+}
+
+int ThreadPool::CurrentWorkerId() { return tl_worker_id; }
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  tl_worker_id = worker_id;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain the queue even during shutdown so every returned future
+      // becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace seraph

@@ -1,0 +1,76 @@
+// A fixed-size worker pool for CPU-bound task fan-out.
+//
+// The continuous engine uses one pool to evaluate independent registered
+// queries of the same evaluation instant concurrently (see
+// docs/INTERNALS.md, "Parallel evaluation"). The design is deliberately
+// minimal — the engine's scheduler is a batch-barrier: the coordinator
+// submits one task per query, waits for the whole batch, then delivers
+// results sequentially. Workers never submit work themselves, so there is
+// no work stealing, no task priorities, and no re-entrancy to reason
+// about.
+//
+//   ThreadPool pool(4);
+//   std::future<void> done = pool.Submit([] { ...work... });
+//   done.get();  // rethrows nothing: tasks must not throw (Status-based
+//                // error handling, like the rest of the library)
+//
+// Thread-safety: Submit may be called from any thread; everything else is
+// coordinator-only. The destructor drains already-queued tasks, then
+// joins.
+#ifndef SERAPH_COMMON_THREAD_POOL_H_
+#define SERAPH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seraph {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1; pass
+  // ResolveThreads(0) for one per hardware thread).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  // Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `task` and returns a future that becomes ready when it has
+  // run. Tasks must not throw: report failures through captured state
+  // (the engine captures a Status per task).
+  std::future<void> Submit(std::function<void()> task);
+
+  // Index of the calling pool worker in [0, size()), or -1 when called
+  // from a thread that is not a pool worker (e.g. the coordinator).
+  // Worker ids are stable for the pool's lifetime; the engine stamps
+  // them onto trace spans.
+  static int CurrentWorkerId();
+
+  // Maps a configuration value to a concrete thread count: n >= 1 is
+  // taken literally; n <= 0 means one thread per hardware thread (with a
+  // fallback of 1 when the hardware cannot be queried).
+  static int ResolveThreads(int requested);
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_THREAD_POOL_H_

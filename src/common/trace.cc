@@ -72,6 +72,9 @@ void AppendEvent(const TraceRecorder::Event& event, std::string* out) {
   *out += "}";
 }
 
+// Trace tid of the calling thread (0 = coordinator lane).
+thread_local int64_t tl_trace_tid = 0;
+
 }  // namespace
 
 int64_t TraceRecorder::NowMicros() {
@@ -80,33 +83,42 @@ int64_t TraceRecorder::NowMicros() {
       .count();
 }
 
+void TraceRecorder::SetCurrentThreadTid(int64_t tid) { tl_trace_tid = tid; }
+
+int64_t TraceRecorder::CurrentThreadTid() { return tl_trace_tid; }
+
 void TraceRecorder::AddComplete(std::string name, std::string category,
                                 int64_t start_micros, int64_t dur_micros,
                                 TraceArgs args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   Event event;
   event.name = std::move(name);
   event.category = std::move(category);
   event.phase = 'X';
   event.ts_micros = start_micros;
   event.dur_micros = dur_micros;
+  event.tid = tl_trace_tid;
   event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
 void TraceRecorder::AddInstant(std::string name, std::string category,
                                int64_t ts_micros, TraceArgs args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   Event event;
   event.name = std::move(name);
   event.category = std::move(category);
   event.phase = 'i';
   event.ts_micros = ts_micros;
+  event.tid = tl_trace_tid;
   event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const Event& event : events_) {

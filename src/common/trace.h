@@ -18,13 +18,19 @@
 // and records nothing, so instrumented hot paths stay cheap (guarded by
 // a benchmark in bench_running_example).
 //
-// Not thread-safe (the engine is single-threaded by design); events carry
-// a caller-settable tid so future multi-shard engines can still produce
-// one merged trace.
+// Thread-safety: AddComplete/AddInstant (and therefore TraceSpan) may be
+// called from engine worker threads concurrently — the event buffer is
+// mutex-guarded. Every recorded event is stamped with the calling
+// thread's trace tid (SetCurrentThreadTid; 0 on the coordinator, worker
+// id + 1 on pool workers), so one merged trace shows the real thread
+// lanes. Enable/Disable, ToJson, Clear, and events() are
+// coordinator-only and must not overlap recording from other threads.
 #ifndef SERAPH_COMMON_TRACE_H_
 #define SERAPH_COMMON_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,13 +59,19 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Microseconds on the steady clock (same timebase as the recorded
   // events; differences are meaningful, absolute values are not).
   static int64_t NowMicros();
+
+  // The trace tid stamped onto events recorded by the calling thread
+  // (thread-local; defaults to 0). The engine assigns worker id + 1 to
+  // pool workers so the coordinator keeps lane 0.
+  static void SetCurrentThreadTid(int64_t tid);
+  static int64_t CurrentThreadTid();
 
   // A duration event spanning [start, start + dur). No-op when disabled.
   void AddComplete(std::string name, std::string category,
@@ -71,15 +83,23 @@ class TraceRecorder {
                   TraceArgs args = {});
 
   const std::vector<Event>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
 
   // {"traceEvents": [...], "displayTimeUnit": "ms"}.
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  // Guards events_ (worker threads append concurrently).
+  mutable std::mutex mu_;
   std::vector<Event> events_;
 };
 

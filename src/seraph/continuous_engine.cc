@@ -1,6 +1,8 @@
 #include "seraph/continuous_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <future>
 
 #include "common/logging.h"
 #include "cypher/executor.h"
@@ -17,7 +19,11 @@ Status CollectingSink::OnResult(const std::string& query_name,
                                 Timestamp evaluation_time,
                                 const TimeAnnotatedTable& table) {
   results_[query_name].Insert(table);
-  by_time_[query_name].emplace(evaluation_time, table);
+  // Last write wins: a second result for the same (query, timestamp) —
+  // e.g. after Unregister/Register of the same name — replaces the first,
+  // matching time-varying-table semantics (ResultsFor keeps the full
+  // delivery sequence).
+  by_time_[query_name].insert_or_assign(evaluation_time, table);
   return Status::OK();
 }
 
@@ -54,6 +60,8 @@ struct QueryMetricHandles {
   Counter* elements_added = nullptr;
   Counter* elements_evicted = nullptr;
   Counter* entities_recomputed = nullptr;
+  Counter* eval_failures = nullptr;
+  Gauge* disabled = nullptr;
   Histogram* stage_window = nullptr;
   Histogram* stage_snapshot = nullptr;
   Histogram* stage_match = nullptr;
@@ -91,6 +99,9 @@ struct ContinuousEngine::QueryState {
   Table previous_result;
   bool has_previous = false;
   bool done = false;  // RETURN-once queries stop after one evaluation.
+  // Query isolation (the query-side mirror of sink quarantine).
+  int consecutive_failures = 0;
+  bool disabled = false;
   QueryStats stats;
   Histogram eval_latency_micros;
   QueryMetricHandles metrics;
@@ -129,6 +140,9 @@ QueryMetricHandles MakeQueryMetrics(MetricsRegistry* registry,
       registry->CounterFor("seraph_window_elements_evicted_total", q);
   m.entities_recomputed =
       registry->CounterFor("seraph_window_entities_recomputed_total", q);
+  m.eval_failures =
+      registry->CounterFor("seraph_query_eval_failures_total", q);
+  m.disabled = registry->GaugeFor("seraph_query_disabled", q);
   auto stage = [&](const char* name) {
     return registry->HistogramFor(
         "seraph_stage_micros",
@@ -171,7 +185,11 @@ class WindowGraphResolver final : public GraphResolver {
 }  // namespace
 
 ContinuousEngine::ContinuousEngine(EngineOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  batch_size_ = metrics_.HistogramFor("seraph_engine_eval_batch_size");
+  parallel_evals_ =
+      metrics_.CounterFor("seraph_engine_parallel_evals_total");
+}
 
 ContinuousEngine::~ContinuousEngine() = default;
 
@@ -213,6 +231,23 @@ Status ContinuousEngine::ReviveSink(const std::string& name) {
     return Status::OK();
   }
   return Status::NotFound("sink '" + name + "' is not registered");
+}
+
+bool ContinuousEngine::QueryDisabled(const std::string& name) const {
+  auto it = queries_.find(name);
+  return it != queries_.end() && it->second->disabled;
+}
+
+Status ContinuousEngine::ReviveQuery(const std::string& name) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + name + "' is not registered");
+  }
+  QueryState* state = it->second.get();
+  state->disabled = false;
+  state->consecutive_failures = 0;
+  state->metrics.disabled->Set(0);
+  return Status::OK();
 }
 
 void ContinuousEngine::DeliverToSinks(const std::string& query_name,
@@ -267,6 +302,13 @@ PropertyGraphStream* ContinuousEngine::MutableStream(
   return &streams_[name];
 }
 
+const PropertyGraphStream* ContinuousEngine::FindStreamOrEmpty(
+    const std::string& name) const {
+  static const PropertyGraphStream* kEmpty = new PropertyGraphStream();
+  auto it = streams_.find(name);
+  return it == streams_.end() ? kEmpty : &it->second;
+}
+
 Status ContinuousEngine::SetStaticGraph(PropertyGraph graph) {
   if (!queries_.empty()) {
     return Status::InvalidArgument(
@@ -306,6 +348,9 @@ Status ContinuousEngine::Register(RegisteredQuery query) {
     ws.config = WindowConfig{query.starting_at, *match->within, slide,
                              options_.semantics};
     SERAPH_RETURN_IF_ERROR(ws.config.Validate());
+    // Create the stream eagerly so streams_ never mutates during
+    // evaluation: worker threads only ever read the map.
+    MutableStream(match->from_stream);
     if (options_.incremental_snapshots) {
       ws.snapshotter = std::make_unique<IncrementalSnapshotter>(
           MutableStream(match->from_stream), ws.config.bounds());
@@ -412,13 +457,22 @@ Status ContinuousEngine::IngestTo(
 }
 
 const PropertyGraphStream& ContinuousEngine::stream() const {
-  static const PropertyGraphStream* kEmpty = new PropertyGraphStream();
-  auto it = streams_.find("");
-  return it == streams_.end() ? *kEmpty : it->second;
+  return *FindStreamOrEmpty("");
 }
 
-const PropertyGraphStream& ContinuousEngine::stream(const std::string& name) {
-  return *MutableStream(name);
+const PropertyGraphStream& ContinuousEngine::stream(
+    const std::string& name) const {
+  // Pure read: a never-ingested name must not insert an empty stream
+  // into streams_ (a surprise mutation, and a data race under parallel
+  // evaluation).
+  return *FindStreamOrEmpty(name);
+}
+
+std::vector<std::string> ContinuousEngine::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
 }
 
 Status ContinuousEngine::AdvanceTo(Timestamp now) {
@@ -426,23 +480,90 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
     return Status::OutOfRange("engine clock cannot move backwards");
   }
   // Run all due evaluations across queries in global chronological order
-  // so multi-query sinks observe a single timeline.
+  // so multi-query sinks observe a single timeline. Every query due at
+  // the same instant forms one batch: the batch's stage-1..3 work may run
+  // concurrently (eval_threads > 1), but delivery always happens here on
+  // the coordinator, sequentially, in query-name order — which is exactly
+  // the order the serial min-scan produced, so output is identical at any
+  // thread count.
+  const int threads = ThreadPool::ResolveThreads(options_.eval_threads);
+  std::vector<QueryState*> batch;
+  std::vector<PendingDelivery> outputs;
+  std::vector<Status> statuses;
+  std::vector<std::future<void>> futures;
   while (true) {
-    QueryState* next = nullptr;
+    bool have_t = false;
+    Timestamp t;
     for (auto& [name, state] : queries_) {
-      if (state->done) continue;
+      if (state->done || state->disabled) continue;
       if (state->next_eval > now) continue;
-      if (next == nullptr || state->next_eval < next->next_eval) {
-        next = state.get();
+      if (!have_t || state->next_eval < t) {
+        t = state->next_eval;
+        have_t = true;
       }
     }
-    if (next == nullptr) break;
-    Timestamp t = next->next_eval;
-    SERAPH_RETURN_IF_ERROR(EvaluateAt(next, t));
-    if (next->query.mode == OutputMode::kReturnOnce) {
-      next->done = true;
+    if (!have_t) break;
+
+    // queries_ is a std::map, so the batch comes out in ascending name
+    // order.
+    batch.clear();
+    for (auto& [name, state] : queries_) {
+      if (state->done || state->disabled) continue;
+      if (state->next_eval == t) batch.push_back(state.get());
+    }
+    batch_size_->Record(static_cast<int64_t>(batch.size()));
+
+    outputs.assign(batch.size(), PendingDelivery{});
+    statuses.assign(batch.size(), Status::OK());
+    if (threads > 1 && batch.size() > 1) {
+      if (pool_ == nullptr || pool_->size() != threads) {
+        pool_ = std::make_unique<ThreadPool>(threads);
+      }
+      futures.clear();
+      futures.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        QueryState* state = batch[i];
+        PendingDelivery* out = &outputs[i];
+        Status* status = &statuses[i];
+        futures.push_back(pool_->Submit([this, state, t, out, status] {
+          // Each worker traces into its own lane (tid 0 is the
+          // coordinator).
+          TraceRecorder::SetCurrentThreadTid(ThreadPool::CurrentWorkerId() +
+                                             1);
+          *status = EvaluateAt(state, t, out);
+        }));
+      }
+      // Batch barrier: nothing is delivered (and the next instant is not
+      // scheduled) until every evaluation of this instant finished. The
+      // joins also establish the happens-before edge that lets the
+      // coordinator read worker-written per-query state without locks.
+      for (auto& f : futures) f.wait();
+      parallel_evals_->Increment(static_cast<int64_t>(batch.size()));
     } else {
-      next->next_eval = t + next->query.every;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        statuses[i] = EvaluateAt(batch[i], t, &outputs[i]);
+      }
+    }
+
+    // Coordinator half: sink delivery and failure bookkeeping, in batch
+    // (= name) order. A failed evaluation is isolated — recorded,
+    // dead-lettered, possibly disabling the query — and never aborts the
+    // fleet. The grid advances on failure too; otherwise a poisoned
+    // query would re-fail at the same instant forever.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      QueryState* state = batch[i];
+      ++evaluations_run_;
+      if (statuses[i].ok()) {
+        state->consecutive_failures = 0;
+        FinishDelivery(state, t, std::move(outputs[i]));
+      } else {
+        HandleEvalFailure(state, t, std::move(statuses[i]));
+      }
+      if (state->query.mode == OutputMode::kReturnOnce) {
+        state->done = true;
+      } else {
+        state->next_eval = t + state->query.every;
+      }
     }
   }
   clock_ = now;
@@ -480,17 +601,21 @@ const char* PolicyName(ReportPolicy policy) {
 
 }  // namespace
 
-Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
-  // All stage timing shares one clock (TraceRecorder::NowMicros) so the
-  // histogram breakdown and the trace spans agree. The tracer pointer is
-  // resolved once; when tracing is off the only extra work per stage is
-  // the clock read feeding the stage histograms.
+Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
+                                    PendingDelivery* out) {
+  // Stages 1-3 of the pipeline. May run on a worker thread: everything
+  // written here is per-query state (disjoint across a batch), and the
+  // shared state it reads (options_, streams_, static_graph_) is frozen
+  // during AdvanceTo. All stage timing shares one clock
+  // (TraceRecorder::NowMicros) so the histogram breakdown and the trace
+  // spans agree. The tracer pointer is resolved once; when tracing is off
+  // the only extra work per stage is the clock read feeding the stage
+  // histograms.
   TraceRecorder* tracer =
       (options_.tracer != nullptr && options_.tracer->enabled())
           ? options_.tracer
           : nullptr;
   const int64_t eval_start = TraceRecorder::NowMicros();
-  ++evaluations_run_;
   ++state->stats.evaluations;
   state->metrics.evaluations->Increment();
 
@@ -519,7 +644,7 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
       // right-open selection).
       effective.end = Timestamp::FromMillis(t.millis() + 1);
     }
-    const PropertyGraphStream* stream = MutableStream(ws.stream);
+    const PropertyGraphStream* stream = FindStreamOrEmpty(ws.stream);
     // Covered element range, for the reuse check.
     size_t lo, hi;
     {
@@ -683,30 +808,79 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t) {
                          {"policy", PolicyName(state->query.policy)}});
   }
 
-  // 4. Emit the time-annotated table. Sink failures are isolated inside
-  //    DeliverToSinks (retry → dead-letter → quarantine) and never fail
-  //    the evaluation.
-  TimeAnnotatedTable annotated{std::move(reported), *widest_window};
-  DeliverToSinks(state->query.name, t, annotated);
+  // Stage 4 (sink delivery) happens on the coordinator: hand the
+  // time-annotated table back for FinishDelivery.
+  out->annotated = TimeAnnotatedTable{std::move(reported), *widest_window};
+  out->eval_start_micros = eval_start;
+  out->eval_end_micros = policy_end;
+  return Status::OK();
+}
 
-  const int64_t sink_end = TraceRecorder::NowMicros();
-  const int64_t sink_micros = sink_end - policy_end;
+void ContinuousEngine::FinishDelivery(QueryState* state, Timestamp t,
+                                      PendingDelivery&& out) {
+  TraceRecorder* tracer =
+      (options_.tracer != nullptr && options_.tracer->enabled())
+          ? options_.tracer
+          : nullptr;
+  // The sink stage is timed as its own interval rather than "since the
+  // policy stage ended": under parallel evaluation there is a scheduling
+  // gap between a worker finishing stage 3 and the coordinator getting
+  // here, and that gap is not sink time.
+  const int64_t sink_start = TraceRecorder::NowMicros();
+  // Sink failures are isolated inside DeliverToSinks (retry →
+  // dead-letter → quarantine) and never fail the evaluation.
+  DeliverToSinks(state->query.name, t, out.annotated);
+  const int64_t sink_micros = TraceRecorder::NowMicros() - sink_start;
   state->stats.sink_micros += sink_micros;
   state->metrics.stage_sink->Record(sink_micros);
+
+  const int64_t eval_micros = out.eval_end_micros - out.eval_start_micros;
+  const int64_t total_micros = eval_micros + sink_micros;
   if (tracer != nullptr) {
-    tracer->AddComplete("sink", "engine", policy_end, sink_micros,
+    tracer->AddComplete("sink", "engine", sink_start, sink_micros,
                         {{"query", state->query.name},
                          {"sinks", std::to_string(sinks_.size())}});
-    tracer->AddComplete("evaluate", "pipeline", eval_start,
-                        sink_end - eval_start,
+    tracer->AddComplete("evaluate", "pipeline", out.eval_start_micros,
+                        total_micros,
                         {{"query", state->query.name},
                          {"t", t.ToString()}});
   }
-
-  const int64_t total_micros = sink_end - eval_start;
   state->eval_latency_micros.Record(total_micros);
   state->metrics.eval_total->Record(total_micros);
-  return Status::OK();
+}
+
+void ContinuousEngine::HandleEvalFailure(QueryState* state, Timestamp t,
+                                         Status error) {
+  ++state->stats.eval_failures;
+  state->metrics.eval_failures->Increment();
+  SERAPH_LOG(WARNING) << "evaluation of query '" << state->query.name
+                      << "' at " << t.ToString()
+                      << " failed: " << error.ToString();
+  if (options_.dead_letter != nullptr) {
+    options_.dead_letter->AddEvaluationFailure(state->query.name, t, error);
+  }
+  state->stats.last_error = std::move(error);
+  ++state->consecutive_failures;
+  if (options_.query_error_budget > 0 && !state->disabled &&
+      state->consecutive_failures >= options_.query_error_budget) {
+    state->disabled = true;
+    state->metrics.disabled->Set(1);
+    SERAPH_LOG(ERROR) << "query '" << state->query.name
+                      << "' disabled after " << state->consecutive_failures
+                      << " consecutive evaluation failures; ReviveQuery() "
+                         "re-enables it";
+  }
+}
+
+int EvalThreadsFromEnv(int fallback) {
+  const char* raw = std::getenv("SERAPH_EVAL_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0 || value > 4096) {
+    return fallback;
+  }
+  return static_cast<int>(value);
 }
 
 }  // namespace seraph

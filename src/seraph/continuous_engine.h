@@ -31,6 +31,7 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "seraph/dead_letter.h"
 #include "seraph/seraph_query.h"
@@ -103,6 +104,18 @@ struct EngineOptions {
   // When set (not owned), results permanently rejected by a sink are
   // captured here instead of being lost.
   DeadLetterQueue* dead_letter = nullptr;
+  // Worker threads for evaluation (docs/INTERNALS.md, "Parallel
+  // evaluation"). 1 (default) keeps the serial engine; 0 means one
+  // worker per hardware thread; N > 1 evaluates each instant's due
+  // queries concurrently on N workers. Sink delivery stays sequential on
+  // the coordinator in deterministic (timestamp, query name) order, so
+  // output is identical to the serial engine at any thread count.
+  int eval_threads = 1;
+  // Query isolation: after this many *consecutive* failed evaluations a
+  // query is disabled (it stops being scheduled; the rest of the fleet
+  // keeps running — the query-side mirror of sink quarantine). 0 never
+  // disables. ReviveQuery lifts it.
+  int query_error_budget = 5;
 };
 
 // Per-sink failure handling (see docs/INTERNALS.md, "Failure model").
@@ -138,6 +151,9 @@ struct QueryStats {
   int64_t match_micros = 0;     // Cypher clause evaluation (or reuse copy).
   int64_t policy_micros = 0;    // Report-policy delta computation.
   int64_t sink_micros = 0;      // Sink delivery.
+  // Query isolation (docs/INTERNALS.md, "Failure model").
+  int64_t eval_failures = 0;    // Evaluations that failed at runtime.
+  Status last_error;            // Most recent evaluation error (OK if none).
 };
 
 class ContinuousEngine {
@@ -191,6 +207,14 @@ class ContinuousEngine {
   // intervention after fixing the consumer).
   Status ReviveSink(const std::string& name);
 
+  // Whether the named query was disabled after exhausting
+  // `EngineOptions::query_error_budget` (false for unknown names).
+  bool QueryDisabled(const std::string& name) const;
+  // Re-enables a disabled query and resets its failure streak. The query
+  // resumes from where its ET grid stopped, catching up on instants
+  // missed while disabled at the next AdvanceTo.
+  Status ReviveQuery(const std::string& name);
+
   // ---- Static background graph (§8 (iii)) ----
 
   // Installs graph data that is part of every snapshot, underneath the
@@ -217,6 +241,16 @@ class ContinuousEngine {
 
   // Advances the engine clock to `now`, running every due evaluation time
   // instant of every registered query in global chronological order.
+  // Instants are processed in batches (all queries due at the same
+  // instant form one batch); with `eval_threads` > 1 a batch's
+  // evaluations run concurrently, while delivery to sinks always happens
+  // sequentially on the calling thread in (timestamp, query name) order.
+  // A query whose evaluation fails at runtime no longer fails the call:
+  // the error is recorded per query (StatsFor(...).last_error,
+  // seraph_query_eval_failures_total), dead-lettered when a queue is
+  // configured, and the query is disabled after
+  // `EngineOptions::query_error_budget` consecutive failures — the rest
+  // of the fleet keeps running.
   Status AdvanceTo(Timestamp now);
 
   // Advances to the latest timestamp across all streams.
@@ -224,8 +258,12 @@ class ContinuousEngine {
 
   // The default stream (name "").
   const PropertyGraphStream& stream() const;
-  // A named stream; creates it empty if absent.
-  const PropertyGraphStream& stream(const std::string& name);
+  // A named stream; a shared empty stream is returned for names that
+  // were never ingested to (reading never creates state).
+  const PropertyGraphStream& stream(const std::string& name) const;
+  // Names of the streams that exist (ingested to, or referenced by a
+  // registered query's WITHIN ... FROM).
+  std::vector<std::string> StreamNames() const;
   const EngineOptions& options() const { return options_; }
 
   // Total evaluations run (introspection for tests/benches).
@@ -249,8 +287,30 @@ class ContinuousEngine {
     Gauge* quarantined_gauge = nullptr;
   };
 
+  // The computed-but-undelivered output of one evaluation: workers
+  // produce these, the coordinator delivers them sequentially.
+  struct PendingDelivery {
+    TimeAnnotatedTable annotated;
+    int64_t eval_start_micros = 0;  // Start of the evaluation stages.
+    int64_t eval_end_micros = 0;    // End of the policy stage.
+  };
+
   PropertyGraphStream* MutableStream(const std::string& name);
-  Status EvaluateAt(QueryState* state, Timestamp t);
+  // Read-only stream lookup that never mutates streams_ (safe from
+  // worker threads); unknown names resolve to a shared empty stream.
+  const PropertyGraphStream* FindStreamOrEmpty(
+      const std::string& name) const;
+  // Stages 1-3 of the Fig. 5 pipeline (windows → snapshots → body →
+  // policy). Touches only per-query state plus read-only shared state,
+  // so distinct queries may run concurrently. The reported table lands
+  // in `out`; delivery happens separately on the coordinator.
+  Status EvaluateAt(QueryState* state, Timestamp t, PendingDelivery* out);
+  // Stage 4 on the coordinator thread: sink fan-out plus the sink-stage
+  // and whole-evaluation metrics/spans for one PendingDelivery.
+  void FinishDelivery(QueryState* state, Timestamp t, PendingDelivery&& out);
+  // Query-isolation bookkeeping for one failed evaluation (coordinator
+  // thread): stats, metrics, dead-letter capture, error-budget disable.
+  void HandleEvalFailure(QueryState* state, Timestamp t, Status error);
   // Delivers one result to every live sink with per-sink retry /
   // dead-letter / quarantine handling; never fails the evaluation.
   void DeliverToSinks(const std::string& query_name, Timestamp t,
@@ -268,7 +328,19 @@ class ContinuousEngine {
   Timestamp clock_;
   bool clock_started_ = false;
   int64_t evaluations_run_ = 0;
+  // Lazily created on the first AdvanceTo that resolves to > 1 thread;
+  // workers are reused across batches and engine lifetimes of calls.
+  std::unique_ptr<ThreadPool> pool_;
+  // Scheduler metrics, resolved once.
+  Histogram* batch_size_ = nullptr;
+  Counter* parallel_evals_ = nullptr;
 };
+
+// The value of the SERAPH_EVAL_THREADS environment variable (a
+// non-negative integer; 0 = hardware concurrency), or `fallback` when it
+// is unset or malformed. Tools and tests use this so CI can run whole
+// suites with a parallel engine (e.g. under TSan).
+int EvalThreadsFromEnv(int fallback);
 
 }  // namespace seraph
 

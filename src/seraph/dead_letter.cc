@@ -35,21 +35,44 @@ void DeadLetterQueue::AddElement(const std::string& consumer,
   ++elements_;
 }
 
+void DeadLetterQueue::AddEvaluationFailure(const std::string& query,
+                                           Timestamp evaluation_time,
+                                           Status error) {
+  DeadLetterEntry entry;
+  entry.kind = DeadLetterEntry::Kind::kEvaluation;
+  entry.source = "engine";
+  entry.query = query;
+  entry.timestamp = evaluation_time;
+  entry.error = std::move(error);
+  entry.attempts = 1;
+  entries_.push_back(std::move(entry));
+  ++evaluation_failures_;
+}
+
 void DeadLetterQueue::Clear() {
   entries_.clear();
   sink_results_ = 0;
   elements_ = 0;
+  evaluation_failures_ = 0;
 }
 
 Status DeadLetterQueue::WriteJsonLines(std::ostream* os) const {
   for (const DeadLetterEntry& entry : entries_) {
     std::string line = "{\"kind\":";
-    line += entry.kind == DeadLetterEntry::Kind::kSinkResult
-                ? "\"sink_result\""
-                : "\"stream_element\"";
+    switch (entry.kind) {
+      case DeadLetterEntry::Kind::kSinkResult:
+        line += "\"sink_result\"";
+        break;
+      case DeadLetterEntry::Kind::kStreamElement:
+        line += "\"stream_element\"";
+        break;
+      case DeadLetterEntry::Kind::kEvaluation:
+        line += "\"evaluation\"";
+        break;
+    }
     line += ",\"source\":";
     io::AppendJsonValue(Value::String(entry.source), &line);
-    if (entry.kind == DeadLetterEntry::Kind::kSinkResult) {
+    if (entry.kind != DeadLetterEntry::Kind::kStreamElement) {
       line += ",\"query\":";
       io::AppendJsonValue(Value::String(entry.query), &line);
     }

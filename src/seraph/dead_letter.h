@@ -1,8 +1,12 @@
 // Dead-letter capture for the fault-tolerant pipeline.
 //
-// Two producers feed the queue (see docs/INTERNALS.md, "Failure model"):
+// Three producers feed the queue (see docs/INTERNALS.md, "Failure
+// model"):
 //  * the engine, with evaluation results a sink permanently rejected
 //    (after per-sink retries were exhausted or the error was permanent);
+//  * the engine, with evaluations that themselves failed at runtime
+//    (query isolation: the failed instant is recorded here, the fleet
+//    keeps running);
 //  * the stream driver, with poison elements whose delivery kept failing
 //    past the per-element error budget.
 //
@@ -25,21 +29,25 @@
 namespace seraph {
 
 struct DeadLetterEntry {
-  enum class Kind { kSinkResult, kStreamElement };
+  enum class Kind { kSinkResult, kStreamElement, kEvaluation };
 
   Kind kind;
-  // Sink name (kSinkResult) or consumer name (kStreamElement).
+  // Sink name (kSinkResult), consumer name (kStreamElement), or "engine"
+  // (kEvaluation).
   std::string source;
-  // Registered query whose result was rejected (kSinkResult only).
+  // Registered query whose result was rejected (kSinkResult) or whose
+  // evaluation failed (kEvaluation).
   std::string query;
-  // Evaluation time (kSinkResult) or element timestamp (kStreamElement).
+  // Evaluation time (kSinkResult, kEvaluation) or element timestamp
+  // (kStreamElement).
   Timestamp timestamp;
   // The status that permanently rejected the payload.
   Status error;
   // Delivery attempts made before giving up.
   int64_t attempts = 0;
 
-  // Exactly one of the two payloads is set, matching `kind`.
+  // At most one of the two payloads is set, matching `kind` (kEvaluation
+  // has no payload: the evaluation produced no result to capture).
   std::optional<TimeAnnotatedTable> result;
   std::shared_ptr<const PropertyGraph> element;
 };
@@ -55,6 +63,11 @@ class DeadLetterQueue {
                      int64_t attempts);
   void AddElement(const std::string& consumer, const StreamElement& element,
                   Status error, int64_t attempts);
+  // A query evaluation that failed at runtime; the instant is recorded so
+  // an operator can see exactly which ET points of the query's grid are
+  // missing from the output.
+  void AddEvaluationFailure(const std::string& query,
+                            Timestamp evaluation_time, Status error);
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -62,6 +75,7 @@ class DeadLetterQueue {
 
   int64_t sink_results() const { return sink_results_; }
   int64_t elements() const { return elements_; }
+  int64_t evaluation_failures() const { return evaluation_failures_; }
 
   void Clear();
 
@@ -74,6 +88,7 @@ class DeadLetterQueue {
   std::vector<DeadLetterEntry> entries_;
   int64_t sink_results_ = 0;
   int64_t elements_ = 0;
+  int64_t evaluation_failures_ = 0;
 };
 
 }  // namespace seraph

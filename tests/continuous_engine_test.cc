@@ -1,6 +1,9 @@
 // Continuous engine behaviour: registry, clock discipline, ET grid,
-// per-MATCH windows, RETURN-once mode, multi-query timelines.
+// per-MATCH windows, RETURN-once mode, multi-query timelines, query
+// isolation, and serial/parallel equivalence.
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "graph/graph_builder.h"
 #include "seraph/continuous_engine.h"
@@ -155,15 +158,239 @@ TEST(ContinuousEngineTest, ParametersReachQueries) {
   EXPECT_EQ(sink.ResultAt("p", T(5))->table.size(), 1u);
 }
 
-TEST(ContinuousEngineTest, QueryErrorSurfacesFromAdvance) {
+// A query whose body fails at runtime (here: division by zero once a row
+// exists) no longer aborts AdvanceTo; the error is recorded per query.
+TEST(ContinuousEngineTest, QueryErrorIsRecordedNotSurfaced) {
   ContinuousEngine engine;
   ASSERT_TRUE(engine.RegisterText(R"(
     REGISTER QUERY boom STARTING AT '1970-01-01T00:05'
     { MATCH (n:X) WITHIN PT5M EMIT n.id / 0 EVERY PT5M })")
                   .ok());
   ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
-  Status s = engine.AdvanceTo(T(5));
-  EXPECT_EQ(s.code(), StatusCode::kEvaluationError);
+  ASSERT_TRUE(engine.AdvanceTo(T(5)).ok());
+  QueryStats stats = engine.StatsFor("boom").value();
+  EXPECT_EQ(stats.eval_failures, 1);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kEvaluationError);
+}
+
+// Query isolation: a poisoned query must not affect a healthy one — the
+// healthy query's results are identical to running it alone.
+TEST(ContinuousEngineTest, PoisonedQueryIsIsolated) {
+  auto drive = [](ContinuousEngine* engine) {
+    ASSERT_TRUE(engine->Ingest(Item(1, 0), T(1)).ok());
+    ASSERT_TRUE(engine->Ingest(Item(2, 0), T(8)).ok());
+    ASSERT_TRUE(engine->AdvanceTo(T(20)).ok());
+  };
+
+  ContinuousEngine solo;
+  CollectingSink solo_sink;
+  solo.AddSink(&solo_sink);
+  ASSERT_TRUE(
+      solo.RegisterText(CountQuery("healthy", "X", "PT10M", "PT5M")).ok());
+  drive(&solo);
+
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(
+      engine.RegisterText(CountQuery("healthy", "X", "PT10M", "PT5M")).ok());
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY boom STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT30M EMIT n.id / 0 EVERY PT5M })")
+                  .ok());
+  drive(&engine);
+
+  const TimeVaryingTable& alone = solo_sink.ResultsFor("healthy");
+  const TimeVaryingTable& together = sink.ResultsFor("healthy");
+  ASSERT_EQ(alone.size(), together.size());
+  for (size_t i = 0; i < alone.size(); ++i) {
+    EXPECT_EQ(alone.entries()[i], together.entries()[i]) << "entry " << i;
+  }
+  // The poisoned query emitted nothing but recorded every failure.
+  EXPECT_EQ(sink.ResultsFor("boom").size(), 0u);
+  EXPECT_GT(engine.StatsFor("boom").value().eval_failures, 0);
+}
+
+// Failed evaluations advance the ET grid (no infinite re-fail of the same
+// instant) and land in the dead-letter queue with their instant.
+TEST(ContinuousEngineTest, FailedEvaluationsAreDeadLetteredAndGridAdvances) {
+  DeadLetterQueue dead;
+  EngineOptions options;
+  options.dead_letter = &dead;
+  options.query_error_budget = 0;  // Never disable: count every instant.
+  ContinuousEngine engine(options);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY boom STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT30M EMIT n.id / 0 EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(20)).ok());
+  // ET = 5, 10, 15, 20 — each failed once and moved on.
+  EXPECT_EQ(engine.StatsFor("boom").value().eval_failures, 4);
+  ASSERT_EQ(dead.evaluation_failures(), 4);
+  EXPECT_EQ(dead.entries()[0].kind, DeadLetterEntry::Kind::kEvaluation);
+  EXPECT_EQ(dead.entries()[0].query, "boom");
+  EXPECT_EQ(dead.entries()[0].timestamp, T(5));
+  EXPECT_EQ(dead.entries()[3].timestamp, T(20));
+}
+
+// After `query_error_budget` consecutive failures the query is disabled
+// (the fleet keeps running); ReviveQuery resumes it from where its grid
+// stopped.
+TEST(ContinuousEngineTest, ErrorBudgetDisablesAndReviveResumes) {
+  EngineOptions options;
+  options.query_error_budget = 2;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  // Fails while the element @1 is inside the 12-minute window (ET 5, 10);
+  // evaluations at 15+ see an empty window and succeed.
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY flaky STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT12M EMIT n.id / 0 EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(30)).ok());
+  EXPECT_TRUE(engine.QueryDisabled("flaky"));
+  EXPECT_EQ(engine.StatsFor("flaky").value().eval_failures, 2);
+  // Disabled queries stop being scheduled.
+  ASSERT_TRUE(engine.AdvanceTo(T(40)).ok());
+  EXPECT_EQ(engine.StatsFor("flaky").value().eval_failures, 2);
+  EXPECT_EQ(sink.ResultsFor("flaky").size(), 0u);
+
+  EXPECT_EQ(engine.ReviveQuery("nope").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(engine.ReviveQuery("flaky").ok());
+  EXPECT_FALSE(engine.QueryDisabled("flaky"));
+  // Catch-up: the grid stopped after 10, so revival replays 15..40 — all
+  // past the poison element's window, so they succeed and emit.
+  ASSERT_TRUE(engine.AdvanceTo(T(40)).ok());
+  EXPECT_FALSE(engine.QueryDisabled("flaky"));
+  EXPECT_EQ(engine.StatsFor("flaky").value().eval_failures, 2);
+  EXPECT_EQ(sink.ResultsFor("flaky").size(), 6u);  // ET 15..40.
+}
+
+// Reading a stream by name is a pure lookup: it must not create the
+// stream (the old accessor inserted an empty stream into the map, which
+// both surprised callers and raced with parallel evaluation).
+TEST(ContinuousEngineTest, ReadingAStreamDoesNotCreateIt) {
+  ContinuousEngine engine;
+  EXPECT_TRUE(engine.StreamNames().empty());
+  EXPECT_TRUE(engine.stream("ghost").empty());
+  EXPECT_TRUE(engine.stream().empty());
+  EXPECT_TRUE(engine.StreamNames().empty());
+  // Ingest and query registration do create streams (the latter eagerly,
+  // so evaluation never mutates the map).
+  ASSERT_TRUE(engine.IngestTo("s1", Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY q STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT5M FROM s2 EMIT n.id EVERY PT5M })")
+                  .ok());
+  EXPECT_EQ(engine.StreamNames(), (std::vector<std::string>{"s1", "s2"}));
+  EXPECT_TRUE(engine.stream("s2").empty());
+}
+
+// Sink delivery order and content are identical at any thread count: the
+// parallel scheduler only parallelizes stages 1-3 and delivers on the
+// coordinator in the serial engine's (timestamp, query name) order.
+TEST(ContinuousEngineTest, SerialParallelEquivalenceRandomized) {
+  struct Delivery {
+    std::string query;
+    Timestamp t;
+    TimeAnnotatedTable table;
+  };
+  struct OrderSink : EmitSink {
+    std::vector<Delivery> calls;
+    Status OnResult(const std::string& name, Timestamp t,
+                    const TimeAnnotatedTable& table) override {
+      calls.push_back({name, t, table});
+      return Status::OK();
+    }
+  };
+
+  std::mt19937 rng(20240806);
+  for (int round = 0; round < 3; ++round) {
+    // A randomized multi-query workload: mixed widths, cadences, offsets,
+    // policies — plus one poisoned query to exercise isolation under
+    // parallelism.
+    std::vector<std::string> queries;
+    const char* policies[] = {"SNAPSHOT", "ON ENTERING", "ON EXITING"};
+    const char* widths[] = {"PT5M", "PT10M", "PT15M"};
+    const char* cadences[] = {"PT5M", "PT10M"};
+    const int num_queries = 6 + static_cast<int>(rng() % 6);
+    for (int q = 0; q < num_queries; ++q) {
+      std::string name = "q" + std::to_string(q);
+      queries.push_back(CountQuery(name.c_str(), q % 2 == 0 ? "X" : "Y",
+                                   widths[rng() % 3], cadences[rng() % 2],
+                                   policies[rng() % 3]));
+    }
+    queries.push_back(
+        "REGISTER QUERY poison STARTING AT '1970-01-01T00:05' "
+        "{ MATCH (n:X) WITHIN PT20M EMIT n.id / 0 EVERY PT5M }");
+    std::vector<std::pair<int64_t, int64_t>> elements;  // (minute, id).
+    const int num_elements = 20 + static_cast<int>(rng() % 20);
+    int64_t minute = 0;
+    for (int e = 0; e < num_elements; ++e) {
+      minute += static_cast<int64_t>(rng() % 4);
+      elements.emplace_back(minute, e + 1);
+    }
+
+    auto run = [&](int eval_threads) {
+      EngineOptions options;
+      options.eval_threads = eval_threads;
+      ContinuousEngine engine(options);
+      OrderSink sink;
+      engine.AddSink(&sink);
+      for (const std::string& text : queries) {
+        EXPECT_TRUE(engine.RegisterText(text).ok());
+      }
+      for (const auto& [min, id] : elements) {
+        EXPECT_TRUE(engine.Ingest(Item(id, id % 2), T(min)).ok());
+      }
+      EXPECT_TRUE(engine.AdvanceTo(T(minute + 30)).ok());
+      return std::move(sink.calls);
+    };
+
+    std::vector<Delivery> serial = run(1);
+    std::vector<Delivery> parallel = run(EvalThreadsFromEnv(4));
+    ASSERT_EQ(serial.size(), parallel.size()) << "round " << round;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].query, parallel[i].query)
+          << "round " << round << " delivery " << i;
+      EXPECT_EQ(serial[i].t, parallel[i].t)
+          << "round " << round << " delivery " << i;
+      EXPECT_EQ(serial[i].table, parallel[i].table)
+          << "round " << round << " delivery " << i;
+    }
+  }
+}
+
+// The scheduler exports its batching behaviour: batch sizes land in a
+// histogram and parallel-executed evaluations are counted.
+TEST(ContinuousEngineTest, ParallelSchedulerMetrics) {
+  EngineOptions options;
+  options.eval_threads = 4;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  for (int q = 0; q < 4; ++q) {
+    std::string name = "q" + std::to_string(q);
+    ASSERT_TRUE(
+        engine.RegisterText(CountQuery(name.c_str(), "X", "PT10M", "PT5M"))
+            .ok());
+  }
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+  // Two instants (5, 10) × 4 queries, all batched.
+  EXPECT_EQ(engine.evaluations_run(), 8);
+  EXPECT_EQ(
+      engine.metrics().CounterFor("seraph_engine_parallel_evals_total")
+          ->value(),
+      8);
+  HistogramSnapshot batches =
+      engine.metrics().HistogramFor("seraph_engine_eval_batch_size")
+          ->Snapshot();
+  EXPECT_EQ(batches.count, 2);
+  EXPECT_EQ(batches.max, 4);
 }
 
 TEST(ContinuousEngineTest, DrainProcessesToLastElement) {

@@ -481,6 +481,74 @@ TEST_F(FaultToleranceTest, ChaosRunDeliversExactlyOnceAndMatchesOracle) {
   EXPECT_GT(driver.retries() + driver.reseeks() + flaky.failures(), 0);
 }
 
+// The same chaos scenario with a parallel evaluation fleet: 4 worker
+// threads and extra query copies must not change the delivered results,
+// and the thread-safety of the injector/metrics/trace paths gets
+// exercised under real contention (this test is part of the TSan CI job).
+TEST_F(FaultToleranceTest, ChaosRunParallelMatchesOracle) {
+  const int kEvents = 40;
+  TimeVaryingTable expected = FaultFreeOracle(kEvents);
+
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Seed(42);
+  fi.ArmProbability("driver.deliver", 0.25);
+  fi.ArmProbability("queue.poll", 0.2);
+
+  EventQueue queue;
+  ProduceEvents(&queue, kEvents);
+  DeadLetterQueue dlq;
+  EngineOptions engine_options;
+  engine_options.dead_letter = &dlq;
+  engine_options.eval_threads = 4;
+  ContinuousEngine engine(engine_options);
+  CollectingSink collector;
+  FlakySink flaky(&collector, /*fail_every=*/3);
+  SinkPolicy sink_policy;
+  sink_policy.retry.max_attempts = 4;
+  engine.AddSink(&flaky, "chaos-sink", sink_policy);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  // Sibling copies of the same query (same ET grid) so every instant is
+  // a batch of 4 concurrent evaluations.
+  for (int i = 0; i < 3; ++i) {
+    std::string copy(kCountQuery);
+    size_t pos = copy.find("QUERY q");
+    ASSERT_NE(pos, std::string::npos);
+    copy.replace(pos, 7, "QUERY q" + std::to_string(i + 1));
+    ASSERT_TRUE(engine.RegisterText(copy).ok());
+  }
+
+  StreamDriver::Options options;
+  options.poll_batch = 5;
+  options.delivery_retry.max_attempts = 3;
+  options.element_error_budget = 1000;
+  options.dead_letter = &dlq;
+  StreamDriver driver(&queue, &engine, options);
+
+  bool done = false;
+  for (int i = 0; i < 10'000 && !done; ++i) {
+    auto pumped = driver.PumpAll();
+    if (!pumped.ok()) {
+      EXPECT_TRUE(pumped.status().IsTransient()) << pumped.status();
+      continue;
+    }
+    done = engine.stream().size() == static_cast<size_t>(kEvents);
+  }
+  ASSERT_TRUE(done) << "chaos run did not converge";
+  for (int i = 0; i < 1000; ++i) {
+    if (driver.Finish().ok()) break;
+  }
+
+  EXPECT_EQ(engine.stream().size(), static_cast<size_t>(kEvents));
+  EXPECT_EQ(dlq.evaluation_failures(), 0);
+  // Every copy saw the exact oracle results, in order.
+  ExpectSameResults(collector.ResultsFor("q"), expected);
+  for (int i = 0; i < 3; ++i) {
+    ExpectSameResults(collector.ResultsFor("q" + std::to_string(i + 1)),
+                      expected);
+  }
+  EXPECT_FALSE(engine.SinkQuarantined("chaos-sink"));
+}
+
 // ---------------------------------------------------------------------------
 // Finish() edge cases (satellite)
 // ---------------------------------------------------------------------------

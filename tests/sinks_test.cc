@@ -93,6 +93,32 @@ TEST_F(SinksFixture, CsvSinkEscapesAndAnnotates) {
   EXPECT_EQ(lines, 5);
 }
 
+// CollectingSink::ResultAt keeps the *latest* result for a (query,
+// timestamp) pair. The old implementation used map::emplace, which
+// silently dropped the second delivery — e.g. after Unregister/Register
+// of the same query name ResultAt kept serving the stale table.
+TEST(CollectingSinkTest, ResultAtKeepsLatestDelivery) {
+  CollectingSink sink;
+  auto one_row = [](int64_t v) {
+    Table t(std::set<std::string>{"v"});
+    Record r;
+    r.Set("v", Value::Int(v));
+    t.Append(std::move(r));
+    return t;
+  };
+  Table one = one_row(1);
+  Table two = one_row(2);
+  TimeInterval window{T(0), T(5)};
+  ASSERT_TRUE(sink.OnResult("q", T(5), {one, window}).ok());
+  ASSERT_TRUE(sink.OnResult("q", T(5), {two, window}).ok());
+  // The delivery sequence keeps both; the by-time lookup serves the last.
+  EXPECT_EQ(sink.ResultsFor("q").size(), 2u);
+  auto at = sink.ResultAt("q", T(5));
+  ASSERT_TRUE(at.has_value());
+  ASSERT_EQ(at->table.size(), 1u);
+  EXPECT_EQ(at->table.rows()[0].GetOrNull("v"), Value::Int(2));
+}
+
 TEST(ReduceExprTest, FoldsLists) {
   auto eval = [](std::string_view text) {
     auto expr = ParseCypherExpression(text);

@@ -1,0 +1,105 @@
+// The worker pool behind parallel query evaluation: sizing, futures,
+// worker ids, concurrent submission, and drain-on-destruction.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace seraph {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7);
+  // 0 and negatives mean "one per hardware thread", never less than 1.
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(-3), 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(ThreadPool::ResolveThreads(0), static_cast<int>(hw));
+  }
+}
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, FutureOrdersTaskEffects) {
+  // future.wait() must establish happens-before: the coordinator reads
+  // plain (non-atomic) state written by the task.
+  ThreadPool pool(2);
+  int value = 0;
+  pool.Submit([&value] { value = 42; }).wait();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreStableAndInRange) {
+  // The coordinator is not a worker.
+  EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&] {
+      int id = ThreadPool::CurrentWorkerId();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(id);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // No waits: destruction must still run everything already queued.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &ran] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 25; ++i) {
+        futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.wait();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace seraph

@@ -2,7 +2,7 @@
 //
 //   seraph_run <query.seraph> <events.log> [--csv | --json] [--stats]
 //              [--explain] [--metrics=<path|->] [--trace=<path>]
-//              [--progress=<n>] [--dead-letter=<path>]
+//              [--progress=<n>] [--dead-letter=<path>] [--threads=<n>]
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
 // the text format of io/graph_text.h (`@ <ISO datetime>` headers followed
@@ -34,6 +34,13 @@
 //                     the deterministic fault injector (e.g.
 //                     SERAPH_FAULT_POINTS="sink.emit=0.05") for chaos
 //                     runs; see common/fault.h.
+//
+// Parallel evaluation (docs/INTERNALS.md, "Parallel evaluation"):
+//   --threads=<n>     evaluation worker threads: 1 = serial (default),
+//                     0 = one per hardware thread. Output is identical at
+//                     any thread count. The SERAPH_EVAL_THREADS
+//                     environment variable supplies the default when the
+//                     flag is absent.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -102,6 +109,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string dead_letter_path;
   long progress_every = 0;
+  // --threads beats SERAPH_EVAL_THREADS beats serial.
+  int eval_threads = EvalThreadsFromEnv(1);
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
     std::string value;
@@ -130,13 +139,21 @@ int main(int argc, char** argv) {
       if (progress_every <= 0) {
         return Fail("--progress expects a positive event count");
       }
+    } else if (FlagValue(arg, "--threads=", &value)) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return Fail("--threads expects a non-negative thread count "
+                    "(0 = hardware concurrency)");
+      }
+      eval_threads = static_cast<int>(parsed);
     } else if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: seraph_run <query.seraph> <events.log> "
              "[--csv | --json] [--stats] [--explain]\n"
              "                  [--metrics=<path|->] [--trace=<path>] "
              "[--progress=<n>]\n"
-             "                  [--dead-letter=<path>]\n";
+             "                  [--dead-letter=<path>] [--threads=<n>]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -180,6 +197,7 @@ int main(int argc, char** argv) {
   if (!dead_letter_path.empty()) {
     options.dead_letter = &dead_letters;
   }
+  options.eval_threads = eval_threads;
   ContinuousEngine engine(options);
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
@@ -215,6 +233,16 @@ int main(int argc, char** argv) {
   if (Status s = engine.Drain(); !s.ok()) return Fail(s.ToString());
   if (progress_every > 0) {
     PrintProgressLine(engine, name, ingested, events->size());
+  }
+
+  // Query isolation: evaluation failures no longer abort the run, so
+  // surface them here — and treat a disabled query (error budget
+  // exhausted) as a failed run.
+  QueryStats final_stats = *engine.StatsFor(name);
+  if (final_stats.eval_failures > 0) {
+    std::cerr << "[seraph_run] " << final_stats.eval_failures
+              << " evaluation(s) failed, last error: "
+              << final_stats.last_error.ToString() << "\n";
   }
 
   if (stats) {
@@ -269,6 +297,11 @@ int main(int argc, char** argv) {
     std::cerr << "[seraph_run] wrote " << tracer.size()
               << " trace events to " << trace_path
               << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (engine.QueryDisabled(name)) {
+    return Fail("query '" + name + "' was disabled after repeated "
+                "evaluation failures (last: " +
+                final_stats.last_error.ToString() + ")");
   }
   return 0;
 }
