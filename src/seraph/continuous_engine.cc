@@ -530,7 +530,7 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
           // coordinator).
           TraceRecorder::SetCurrentThreadTid(ThreadPool::CurrentWorkerId() +
                                              1);
-          *status = EvaluateAt(state, t, out);
+          *status = EvaluateAtNoThrow(state, t, out);
         }));
       }
       // Batch barrier: nothing is delivered (and the next instant is not
@@ -541,7 +541,7 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
       parallel_evals_->Increment(static_cast<int64_t>(batch.size()));
     } else {
       for (size_t i = 0; i < batch.size(); ++i) {
-        statuses[i] = EvaluateAt(batch[i], t, &outputs[i]);
+        statuses[i] = EvaluateAtNoThrow(batch[i], t, &outputs[i]);
       }
     }
 
@@ -553,14 +553,29 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
     for (size_t i = 0; i < batch.size(); ++i) {
       QueryState* state = batch[i];
       ++evaluations_run_;
-      if (statuses[i].ok()) {
+      const bool ok = statuses[i].ok();
+      if (ok) {
         state->consecutive_failures = 0;
         FinishDelivery(state, t, std::move(outputs[i]));
       } else {
         HandleEvalFailure(state, t, std::move(statuses[i]));
       }
       if (state->query.mode == OutputMode::kReturnOnce) {
-        state->done = true;
+        if (ok) {
+          state->done = true;
+        } else if (!state->disabled) {
+          // A RETURN query has no later instant to retry at, so one
+          // failure is terminal regardless of the error budget: disable
+          // it (making the failure observable via QueryDisabled) rather
+          // than marking it done. ReviveQuery re-arms the single
+          // evaluation at the same instant.
+          state->disabled = true;
+          state->metrics.disabled->Set(1);
+          SERAPH_LOG(ERROR)
+              << "RETURN query '" << state->query.name
+              << "' disabled after its single evaluation failed; "
+                 "ReviveQuery() re-arms it";
+        }
       } else {
         state->next_eval = t + state->query.every;
       }
@@ -600,6 +615,23 @@ const char* PolicyName(ReportPolicy policy) {
 }
 
 }  // namespace
+
+Status ContinuousEngine::EvaluateAtNoThrow(QueryState* state, Timestamp t,
+                                           PendingDelivery* out) {
+  // On a worker thread the coordinator only wait()s on the task's future,
+  // so an exception escaping EvaluateAt (e.g. std::bad_alloc) would be
+  // stored there and silently discarded — leaving statuses[i] OK and a
+  // default-constructed (empty) PendingDelivery delivered as a genuine
+  // result. Translate exceptions to Status so both the serial and the
+  // parallel path treat them as ordinary evaluation failures.
+  try {
+    return EvaluateAt(state, t, out);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("evaluation threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("evaluation threw a non-standard exception");
+  }
+}
 
 Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
                                     PendingDelivery* out) {
@@ -830,7 +862,8 @@ void ContinuousEngine::FinishDelivery(QueryState* state, Timestamp t,
   // Sink failures are isolated inside DeliverToSinks (retry →
   // dead-letter → quarantine) and never fail the evaluation.
   DeliverToSinks(state->query.name, t, out.annotated);
-  const int64_t sink_micros = TraceRecorder::NowMicros() - sink_start;
+  const int64_t sink_end = TraceRecorder::NowMicros();
+  const int64_t sink_micros = sink_end - sink_start;
   state->stats.sink_micros += sink_micros;
   state->metrics.stage_sink->Record(sink_micros);
 
@@ -840,8 +873,12 @@ void ContinuousEngine::FinishDelivery(QueryState* state, Timestamp t,
     tracer->AddComplete("sink", "engine", sink_start, sink_micros,
                         {{"query", state->query.name},
                          {"sinks", std::to_string(sinks_.size())}});
+    // The 'evaluate' span must enclose its 'sink' child, so it runs to
+    // sink_end: the worker-to-coordinator scheduling gap sits *inside*
+    // the span (visible as the space between the policy and sink
+    // children), while the latency metrics below deliberately exclude it.
     tracer->AddComplete("evaluate", "pipeline", out.eval_start_micros,
-                        total_micros,
+                        sink_end - out.eval_start_micros,
                         {{"query", state->query.name},
                          {"t", t.ToString()}});
   }
@@ -851,6 +888,16 @@ void ContinuousEngine::FinishDelivery(QueryState* state, Timestamp t,
 
 void ContinuousEngine::HandleEvalFailure(QueryState* state, Timestamp t,
                                          Status error) {
+  // The failed evaluation already recorded its windows' element ranges
+  // (EvaluateAt updates last_lo/last_hi before the match stage) but never
+  // produced a result. If the ranges stayed frozen, the next instant's
+  // unchanged-window check would pass and the reuse path would emit
+  // previous_result — a table from the last *successful* evaluation over
+  // different window content — and, since reuse skips execution, a
+  // content-deterministic error would never re-fire (so the error budget
+  // could never trip). Invalidate the precondition: the next instant must
+  // re-execute.
+  for (auto& [key, ws] : state->windows) ws.has_last_range = false;
   ++state->stats.eval_failures;
   state->metrics.eval_failures->Increment();
   SERAPH_LOG(WARNING) << "evaluation of query '" << state->query.name

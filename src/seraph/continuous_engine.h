@@ -208,11 +208,16 @@ class ContinuousEngine {
   Status ReviveSink(const std::string& name);
 
   // Whether the named query was disabled after exhausting
-  // `EngineOptions::query_error_budget` (false for unknown names).
+  // `EngineOptions::query_error_budget` (false for unknown names). A
+  // RETURN-once query whose single evaluation fails is disabled
+  // immediately, regardless of the budget: it has no later instant to
+  // retry at, and disabling makes the failure observable here instead of
+  // the query silently counting as completed.
   bool QueryDisabled(const std::string& name) const;
   // Re-enables a disabled query and resets its failure streak. The query
   // resumes from where its ET grid stopped, catching up on instants
-  // missed while disabled at the next AdvanceTo.
+  // missed while disabled at the next AdvanceTo. For a failed RETURN-once
+  // query this re-arms the single evaluation at its original instant.
   Status ReviveQuery(const std::string& name);
 
   // ---- Static background graph (§8 (iii)) ----
@@ -305,6 +310,11 @@ class ContinuousEngine {
   // so distinct queries may run concurrently. The reported table lands
   // in `out`; delivery happens separately on the coordinator.
   Status EvaluateAt(QueryState* state, Timestamp t, PendingDelivery* out);
+  // EvaluateAt with escaping exceptions translated to kInternal statuses,
+  // so a throw on a worker thread surfaces as an ordinary evaluation
+  // failure instead of being swallowed by the un-got future.
+  Status EvaluateAtNoThrow(QueryState* state, Timestamp t,
+                           PendingDelivery* out);
   // Stage 4 on the coordinator thread: sink fan-out plus the sink-stage
   // and whole-evaluation metrics/spans for one PendingDelivery.
   void FinishDelivery(QueryState* state, Timestamp t, PendingDelivery&& out);

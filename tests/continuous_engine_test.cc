@@ -269,6 +269,70 @@ TEST(ContinuousEngineTest, ErrorBudgetDisablesAndReviveResumes) {
   EXPECT_EQ(sink.ResultsFor("flaky").size(), 6u);  // ET 15..40.
 }
 
+// A failed evaluation must invalidate the unchanged-window reuse cache:
+// it recorded its element ranges before failing, so if the next instant
+// sees the same ranges, the reuse path would otherwise emit the last
+// *successful* result (computed from different window content) and the
+// content-deterministic error would never re-fire.
+TEST(ContinuousEngineTest, FailedEvaluationInvalidatesReuse) {
+  ContinuousEngine engine;  // reuse_unchanged_windows on by default.
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  // Content-dependent poison: the body divides by n.id, so an id = 0
+  // element in the window makes the evaluation fail.
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY q STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT20M EMIT 10 / n.id EVERY PT5M })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(2, 0), T(1)).ok());
+  ASSERT_TRUE(engine.Ingest(Item(0, 0), T(8)).ok());  // Poison.
+  // ET 5: window holds only id 2 → succeeds and emits.
+  // ET 10: the poison entered → fails; the ranges it recorded cover both
+  //        elements.
+  // ET 15: the 20-minute window still covers exactly both elements — the
+  //        ranges are unchanged relative to the FAILED evaluation, so a
+  //        reuse here would replay ET 5's result. It must re-execute and
+  //        fail again instead.
+  ASSERT_TRUE(engine.AdvanceTo(T(15)).ok());
+  QueryStats stats = engine.StatsFor("q").value();
+  EXPECT_EQ(stats.eval_failures, 2);
+  EXPECT_EQ(stats.reused_results, 0);
+  EXPECT_EQ(stats.last_error.code(), StatusCode::kEvaluationError);
+  // Only ET 5 delivered; no stale table at 10 or 15.
+  EXPECT_EQ(sink.ResultsFor("q").size(), 1u);
+  ASSERT_TRUE(sink.ResultAt("q", T(5)).has_value());
+  EXPECT_FALSE(sink.ResultAt("q", T(10)).has_value());
+  EXPECT_FALSE(sink.ResultAt("q", T(15)).has_value());
+}
+
+// A RETURN-once query whose single evaluation fails is disabled (not
+// marked done): the failure is observable via QueryDisabled, and
+// ReviveQuery re-arms the evaluation at its original instant.
+TEST(ContinuousEngineTest, FailedReturnOnceIsDisabledAndRevivable) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(R"(
+    REGISTER QUERY once STARTING AT '1970-01-01T00:05'
+    { MATCH (n:X) WITHIN PT10M RETURN n.id / 0 })")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1, 0), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+  EXPECT_TRUE(engine.QueryDisabled("once"));
+  EXPECT_EQ(engine.StatsFor("once").value().eval_failures, 1);
+  EXPECT_EQ(sink.ResultsFor("once").size(), 0u);
+  // Disabled, not done: no re-evaluation while disabled...
+  ASSERT_TRUE(engine.AdvanceTo(T(20)).ok());
+  EXPECT_EQ(engine.StatsFor("once").value().eval_failures, 1);
+  // ...but revival re-arms the single evaluation (at the original ET 5 —
+  // which re-fails here, proving the query was never marked done).
+  ASSERT_TRUE(engine.ReviveQuery("once").ok());
+  EXPECT_FALSE(engine.QueryDisabled("once"));
+  ASSERT_TRUE(engine.AdvanceTo(T(30)).ok());
+  EXPECT_EQ(engine.StatsFor("once").value().eval_failures, 2);
+  EXPECT_TRUE(engine.QueryDisabled("once"));
+}
+
 // Reading a stream by name is a pure lookup: it must not create the
 // stream (the old accessor inserted an empty stream into the map, which
 // both surprised callers and raced with parallel evaluation).

@@ -380,6 +380,24 @@ TEST(EngineObservabilityTest, TracerCapturesPipelineSpans) {
   EXPECT_TRUE(saw_eval);
   EXPECT_TRUE(saw_snapshot);
   EXPECT_TRUE(saw_ingest);
+  // Span nesting: every 'sink' child must lie inside some 'evaluate'
+  // parent. The evaluate span runs to the end of sink delivery precisely
+  // so the merged trace nests even with a worker-to-coordinator
+  // scheduling gap between the policy and sink stages.
+  for (const auto& child : recorder.events()) {
+    if (child.name != "sink") continue;
+    bool contained = false;
+    for (const auto& parent : recorder.events()) {
+      if (parent.name != "evaluate") continue;
+      if (parent.ts_micros <= child.ts_micros &&
+          parent.ts_micros + parent.dur_micros >=
+              child.ts_micros + child.dur_micros) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "sink span escapes its evaluate parent";
+  }
   ExpectBalancedJson(recorder.ToJson());
 }
 
