@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/logging.h"
 
@@ -193,13 +195,26 @@ std::string RenderMetricName(const std::string& name,
 
 MetricsRegistry::Series* MetricsRegistry::SeriesFor(
     const std::string& name, const MetricLabels& labels, Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = RenderLabels(labels, {});
+  {
+    // Fast path: the series almost always exists already (handles are
+    // resolved once and cached), so a shared lock suffices and *For calls
+    // never serialize against exposition or each other.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto fit = families_.find(name);
+    if (fit != families_.end()) {
+      SERAPH_CHECK(fit->second.kind == kind)
+          << "metric family '" << name << "' registered with two kinds";
+      auto sit = fit->second.series.find(key);
+      if (sit != fit->second.series.end()) return &sit->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [fit, created] = families_.try_emplace(name);
   Family& family = fit->second;
   if (created) family.kind = kind;
   SERAPH_CHECK(family.kind == kind)
       << "metric family '" << name << "' registered with two kinds";
-  std::string key = RenderLabels(labels, {});
   auto [sit, series_created] = family.series.try_emplace(std::move(key));
   Series& series = sit->second;
   if (series_created) {
@@ -221,7 +236,7 @@ MetricsRegistry::Series* MetricsRegistry::SeriesFor(
 
 const MetricsRegistry::Series* MetricsRegistry::FindSeries(
     const std::string& name, const MetricLabels& labels, Kind kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != kind) return nullptr;
   auto sit = fit->second.series.find(RenderLabels(labels, {}));
@@ -262,7 +277,7 @@ const Histogram* MetricsRegistry::FindHistogram(
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [key, series] : family.series) {
       if (series.counter != nullptr) series.counter->Reset();
@@ -273,14 +288,15 @@ void MetricsRegistry::Reset() {
 }
 
 size_t MetricsRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [name, family] : families_) n += family.series.size();
   return n;
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared: a scrape must not stall workers resolving series.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     switch (family.kind) {
@@ -320,7 +336,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, family] : families_) {
     for (const auto& [key, series] : family.series) {

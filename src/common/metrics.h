@@ -7,11 +7,13 @@
 //
 // Thread-safety (parallel multi-query evaluation runs worker threads
 // against shared registries — see docs/INTERNALS.md, "Parallel
-// evaluation"): Counter and Gauge are atomic; the registry's find-or-
-// create lookups and expositions are mutex-guarded. Histogram is the one
-// single-writer primitive: every histogram the engine registers is
-// per-(query[, stage]) and a query is evaluated by at most one worker at
-// a time, with the batch barrier ordering writes across batches.
+// evaluation"): Counter and Gauge are atomic; the registry's map is
+// guarded by a shared_mutex — find-or-create of an *existing* series and
+// expositions run under a shared lock (concurrent with each other), only
+// first-time series creation and Reset take it exclusively. Histogram is
+// the one single-writer primitive: every histogram the engine registers
+// is per-(query[, stage]) and a query is evaluated by at most one worker
+// at a time, with the batch barrier ordering writes across batches.
 // Exposition is expected to happen between evaluations.
 #ifndef SERAPH_COMMON_METRICS_H_
 #define SERAPH_COMMON_METRICS_H_
@@ -21,7 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -103,8 +105,10 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 // cache; the registry owns every instrument. A metric family (one name)
 // must hold one instrument kind only — asking for a counter under a name
 // already used by a histogram is a programming error (checked).
-// Lookups, expositions, and Reset are mutex-guarded so worker threads may
-// resolve series concurrently; cached instrument pointers bypass the
+// The registry is guarded by a shared_mutex: lookups of existing series
+// and expositions (ToPrometheusText/ToJson) take the lock shared, so a
+// scrape never stalls worker threads resolving series; only series
+// creation and Reset write-lock. Cached instrument pointers bypass the
 // lock entirely.
 //
 // Naming follows Prometheus conventions: `seraph_<subsystem>_<what>`,
@@ -168,8 +172,9 @@ class MetricsRegistry {
                            Kind kind) const;
 
   // Guards families_ (map structure only; instruments are themselves
-  // atomic or single-writer, see the header comment).
-  mutable std::mutex mu_;
+  // atomic or single-writer, see the header comment). Shared for lookups
+  // and exposition, exclusive for series creation and Reset.
+  mutable std::shared_mutex mu_;
   std::map<std::string, Family> families_;
 };
 

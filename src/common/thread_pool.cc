@@ -37,6 +37,49 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return done;
 }
 
+void ThreadPool::Batch::RunEntry(Entry* entry) {
+  // Exactly-once execution: workers and the WaitAll-er race on the claim
+  // flag; the loser skips. acq_rel pairs a winning claim with any
+  // prior writes the submitter made to the task's captured state.
+  if (entry->claimed.exchange(true, std::memory_order_acq_rel)) return;
+  entry->fn();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--remaining_ == 0) done_.notify_all();
+}
+
+ThreadPool::BatchPtr ThreadPool::SubmitBatch(
+    std::vector<std::function<void()>> tasks) {
+  auto batch = std::make_shared<Batch>();
+  batch->entries_.reserve(tasks.size());
+  for (std::function<void()>& task : tasks) {
+    auto entry = std::make_unique<Batch::Entry>();
+    entry->fn = std::move(task);
+    batch->entries_.push_back(std::move(entry));
+  }
+  batch->remaining_ = batch->entries_.size();
+  for (const std::unique_ptr<Batch::Entry>& entry : batch->entries_) {
+    // The wrapper holds the batch alive: a worker may dequeue it after
+    // WaitAll returned (the entry was claimed by the helper) and even
+    // after the submitter dropped its handle.
+    Batch::Entry* raw = entry.get();
+    Submit([batch, raw] { batch->RunEntry(raw); });
+  }
+  return batch;
+}
+
+void ThreadPool::WaitAll(const BatchPtr& batch) {
+  // Help-drain: run everything no worker has started yet. Whatever
+  // remains afterwards is *running* on workers right now (a claimed
+  // entry is executed immediately), so the wait below is bounded by
+  // real work, never by queue position — the property that makes nested
+  // submission from a pool worker deadlock-free.
+  for (const std::unique_ptr<Batch::Entry>& entry : batch->entries_) {
+    batch->RunEntry(entry.get());
+  }
+  std::unique_lock<std::mutex> lock(batch->mu_);
+  batch->done_.wait(lock, [&] { return batch->remaining_ == 0; });
+}
+
 int ThreadPool::CurrentWorkerId() { return tl_worker_id; }
 
 int ThreadPool::ResolveThreads(int requested) {

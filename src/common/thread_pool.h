@@ -1,29 +1,43 @@
 // A fixed-size worker pool for CPU-bound task fan-out.
 //
-// The continuous engine uses one pool to evaluate independent registered
-// queries of the same evaluation instant concurrently (see
-// docs/INTERNALS.md, "Parallel evaluation"). The design is deliberately
-// minimal — the engine's scheduler is a batch-barrier: the coordinator
-// submits one task per query, waits for the whole batch, then delivers
-// results sequentially. Workers never submit work themselves, so there is
-// no work stealing, no task priorities, and no re-entrancy to reason
-// about.
+// The continuous engine uses one pool for two kinds of work (see
+// docs/INTERNALS.md, "Parallel evaluation" and "Intra-query
+// parallelism"):
+//
+//  * inter-query: the scheduler submits one task per query due at an
+//    evaluation instant (Submit + future barrier, coordinator-only);
+//  * intra-query: the matcher fans the seed candidates of one MATCH out
+//    in morsels — from a pool worker that is itself running an
+//    inter-query task (SubmitBatch + WaitAll).
+//
+// Nested submission is what SubmitBatch/WaitAll exist for: a plain
+// future.wait() from a worker could deadlock the fixed-size pool (every
+// worker parked waiting for subtasks that are queued behind the waiters),
+// so WaitAll lets the waiting thread *help drain* — it claims and runs
+// the batch's unstarted tasks inline, making progress independent of free
+// workers.
 //
 //   ThreadPool pool(4);
 //   std::future<void> done = pool.Submit([] { ...work... });
 //   done.get();  // rethrows nothing: tasks must not throw (Status-based
 //                // error handling, like the rest of the library)
 //
-// Thread-safety: Submit may be called from any thread; everything else is
+//   ThreadPool::BatchPtr batch = pool.SubmitBatch(std::move(tasks));
+//   pool.WaitAll(batch);  // safe from a pool worker or the coordinator
+//
+// Thread-safety: Submit / SubmitBatch / WaitAll may be called from any
+// thread (including pool workers); construction and destruction are
 // coordinator-only. The destructor drains already-queued tasks, then
 // joins.
 #ifndef SERAPH_COMMON_THREAD_POOL_H_
 #define SERAPH_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -32,6 +46,27 @@ namespace seraph {
 
 class ThreadPool {
  public:
+  // A group of tasks whose completion can be awaited with WaitAll while
+  // the waiting thread helps execute them. Opaque: obtained from
+  // SubmitBatch, consumed by WaitAll.
+  class Batch {
+   private:
+    friend class ThreadPool;
+    struct Entry {
+      std::function<void()> fn;
+      std::atomic<bool> claimed{false};
+    };
+    // Claims `entry` and runs it; no-op when another thread already did.
+    void RunEntry(Entry* entry);
+
+    // unique_ptr keeps Entry addresses (and their atomic flags) stable.
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::mutex mu_;
+    std::condition_variable done_;
+    size_t remaining_ = 0;
+  };
+  using BatchPtr = std::shared_ptr<Batch>;
+
   // Spawns `num_threads` workers (clamped to at least 1; pass
   // ResolveThreads(0) for one per hardware thread).
   explicit ThreadPool(int num_threads);
@@ -49,6 +84,22 @@ class ThreadPool {
   // run. Tasks must not throw: report failures through captured state
   // (the engine captures a Status per task).
   std::future<void> Submit(std::function<void()> task);
+
+  // Enqueues `tasks` as one batch and returns its handle. Each task runs
+  // exactly once — on whichever pool worker dequeues it first, or inline
+  // on the thread that calls WaitAll, whichever claims it. Tasks must not
+  // throw (same contract as Submit) and must not themselves call WaitAll
+  // on a batch containing their own entry.
+  BatchPtr SubmitBatch(std::vector<std::function<void()>> tasks);
+
+  // Blocks until every task of `batch` has run. The calling thread —
+  // pool worker or not — first claims and runs all still-unstarted tasks
+  // of the batch inline, so completion never depends on a free worker:
+  // nested fan-out from inside a pool task cannot deadlock the pool.
+  // Establishes a happens-before edge from every task's writes to the
+  // caller's subsequent reads. May be called at most once per batch from
+  // one thread (the submitter).
+  void WaitAll(const BatchPtr& batch);
 
   // Index of the calling pool worker in [0, size()), or -1 when called
   // from a thread that is not a pool worker (e.g. the coordinator).

@@ -25,6 +25,12 @@
 
 namespace seraph {
 
+// Intra-query parallel pattern matching spec (defined in
+// cypher/matcher.h; carried here so the engine can hand it to every
+// pattern-matching entry point — including exists(<pattern>) — through
+// the one context object that reaches them all).
+struct MatchParallelism;
+
 class EvalContext {
  public:
   EvalContext(const PropertyGraph* graph, const Record* record)
@@ -70,6 +76,17 @@ class EvalContext {
   // names. kEvaluationError when unbound.
   Result<Value> Lookup(const std::string& name) const;
 
+  // Intra-query parallelism granted to pattern matching under this
+  // context (null = serial; not owned, must outlive the context). The
+  // matcher clears it on the context copies it hands to morsel workers,
+  // so partitioning never nests.
+  const MatchParallelism* match_parallelism() const {
+    return match_parallelism_;
+  }
+  void set_match_parallelism(const MatchParallelism* parallelism) {
+    match_parallelism_ = parallelism;
+  }
+
  private:
   const PropertyGraph* graph_;
   const Record* record_;
@@ -77,6 +94,7 @@ class EvalContext {
   Timestamp now_;
   std::optional<TimeInterval> window_;
   const std::unordered_map<const Expr*, Value>* aggregate_results_ = nullptr;
+  const MatchParallelism* match_parallelism_ = nullptr;
   std::vector<std::pair<std::string, Value>> locals_;
 };
 

@@ -51,6 +51,7 @@ class Executor {
     ctx_.set_parameters(&options_.parameters);
     ctx_.set_now(options_.now);
     ctx_.set_window(options_.window);
+    ctx_.set_match_parallelism(options_.match_parallelism);
   }
 
   Result<Table> Run(const SingleQuery& query, const Table& input) {

@@ -20,6 +20,8 @@
 
 namespace seraph {
 
+struct MatchParallelism;  // cypher/matcher.h
+
 struct ExecutionOptions {
   // Values for $parameters.
   std::map<std::string, Value> parameters;
@@ -31,6 +33,9 @@ struct ExecutionOptions {
   // Greedy join-order optimization within MATCH clauses (see
   // MatchOptions); disable to execute patterns in textual order.
   bool optimize_match_order = true;
+  // Morsel-partitioned parallel pattern matching (cypher/matcher.h); the
+  // spec must outlive the execution. Null = serial matching.
+  const MatchParallelism* match_parallelism = nullptr;
 };
 
 // Supplies the graph each MATCH clause is evaluated against. Seraph's

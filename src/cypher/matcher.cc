@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <exception>
+#include <functional>
+#include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace seraph {
 
@@ -28,13 +33,33 @@ std::set<std::string> PathPatternVariables(const PathPattern& path) {
   return vars;
 }
 
+// The label of `np` with the smallest index entry, or nullptr when the
+// pattern carries no labels. Seeding from the most selective label is a
+// pure execution-order optimization: NodeSatisfies re-checks every label,
+// and each label index iterates in ascending node-id order, so the result
+// bag (and its order) is independent of which label seeds the scan.
+const std::string* MostSelectiveLabel(const NodePattern& np,
+                                      const PropertyGraph& graph) {
+  const std::string* best = nullptr;
+  size_t best_count = 0;
+  for (const std::string& label : np.labels) {
+    size_t count = graph.CountNodesWithLabel(label);
+    if (best == nullptr || count < best_count) {
+      best = &label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
 // Cost estimate for starting a pattern with no bound variable: the size of
-// its cheapest node seed set.
+// its cheapest node seed set, considering every label on every node (a
+// node pattern with labels [:Big:Tiny] seeds from the Tiny index).
 size_t SeedCost(const PathPattern& path, const PropertyGraph& graph) {
   size_t best = graph.num_nodes();
   for (const NodePattern& np : path.nodes) {
-    if (!np.labels.empty()) {
-      best = std::min(best, graph.NodesWithLabel(np.labels[0]).size());
+    for (const std::string& label : np.labels) {
+      best = std::min(best, graph.CountNodesWithLabel(label));
     }
   }
   return best;
@@ -95,6 +120,16 @@ class Matcher {
   }
 
   void set_order(std::vector<size_t> order) { order_ = std::move(order); }
+
+  // Restricts the seed enumeration of the first processed pattern's first
+  // node to [begin, end) — one morsel of the full seed domain. The slice
+  // must be drawn from the same domain the serial scan would use (the
+  // most-selective label index, or all node ids) so that concatenating
+  // slice outputs in slice order reproduces the serial output exactly.
+  void set_seed_slice(const NodeId* begin, const NodeId* end) {
+    seed_begin_ = begin;
+    seed_end_ = end;
+  }
 
   Status Run(const Record& input) {
     current_ = input;
@@ -163,9 +198,18 @@ class Matcher {
         return try_candidate(existing->AsNode());
       }
     }
-    // Seed from the label index when possible, else scan all nodes.
-    if (!np.labels.empty()) {
-      for (NodeId id : graph_.NodesWithLabel(np.labels[0])) {
+    // A seed slice (one morsel of the partitioned top-level scan) replaces
+    // the full enumeration for the first processed pattern's first node.
+    if (seed_begin_ != nullptr && pattern_idx == 0 && node_idx == 0) {
+      for (const NodeId* it = seed_begin_; it != seed_end_; ++it) {
+        SERAPH_RETURN_IF_ERROR(try_candidate(*it));
+      }
+      return Status::OK();
+    }
+    // Seed from the most selective label index when possible (copy-free —
+    // the index set iterates in ascending id order), else scan all nodes.
+    if (const std::string* label = MostSelectiveLabel(np, graph_)) {
+      for (NodeId id : graph_.NodesWithLabelSet(*label)) {
         SERAPH_RETURN_IF_ERROR(try_candidate(id));
       }
       return Status::OK();
@@ -302,8 +346,9 @@ class Matcher {
     // Enumerate source candidates, BFS to every target candidate.
     const NodePattern& src_np = path.nodes[0];
     const NodePattern& dst_np = path.nodes[1];
-    SERAPH_ASSIGN_OR_RETURN(std::vector<NodeId> sources,
-                            CandidateNodes(src_np));
+    SERAPH_ASSIGN_OR_RETURN(
+        std::vector<NodeId> sources,
+        CandidateNodes(src_np, /*use_seed_slice=*/pattern_idx == 0));
     for (NodeId src : sources) {
       bool src_bound_here = false;
       if (!src_np.variable.empty() && !current_.Has(src_np.variable)) {
@@ -421,7 +466,10 @@ class Matcher {
 
   // ---- Candidate enumeration and constraint checks ----
 
-  Result<std::vector<NodeId>> CandidateNodes(const NodePattern& np) {
+  // `use_seed_slice` routes the shortestPath source enumeration of the
+  // first processed pattern through the morsel's seed slice.
+  Result<std::vector<NodeId>> CandidateNodes(const NodePattern& np,
+                                             bool use_seed_slice = false) {
     std::vector<NodeId> out;
     if (!np.variable.empty()) {
       const Value* existing = current_.Find(np.variable);
@@ -434,12 +482,25 @@ class Matcher {
         return out;
       }
     }
-    std::vector<NodeId> seeds = np.labels.empty()
-                                    ? graph_.NodeIds()
-                                    : graph_.NodesWithLabel(np.labels[0]);
-    for (NodeId id : seeds) {
+    auto consider = [&](NodeId id) -> Status {
       SERAPH_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(id, np));
       if (ok) out.push_back(id);
+      return Status::OK();
+    };
+    if (use_seed_slice && seed_begin_ != nullptr) {
+      for (const NodeId* it = seed_begin_; it != seed_end_; ++it) {
+        SERAPH_RETURN_IF_ERROR(consider(*it));
+      }
+      return out;
+    }
+    if (const std::string* label = MostSelectiveLabel(np, graph_)) {
+      for (NodeId id : graph_.NodesWithLabelSet(*label)) {
+        SERAPH_RETURN_IF_ERROR(consider(id));
+      }
+      return out;
+    }
+    for (NodeId id : graph_.NodeIds()) {
+      SERAPH_RETURN_IF_ERROR(consider(id));
     }
     return out;
   }
@@ -515,7 +576,157 @@ class Matcher {
   std::set<RelId> used_rels_;
   // Relationships pinned by already-completed patterns of this clause.
   std::set<RelId> clause_rels_;
+  // Optional morsel restriction of the top-level seed scan (not owned).
+  const NodeId* seed_begin_ = nullptr;
+  const NodeId* seed_end_ = nullptr;
 };
+
+// The processing order over `views` (identity, or the greedy plan).
+std::vector<size_t> ResolveOrder(const std::vector<const PathPattern*>& views,
+                                 const PropertyGraph& graph,
+                                 const Record& input,
+                                 const MatchOptions& options) {
+  if (options.optimize_pattern_order && views.size() > 1) {
+    return PlanPatternOrder(views, graph, input);
+  }
+  std::vector<size_t> order(views.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+// The seed domain of the first processed pattern's first node — exactly
+// the candidate list the serial scan enumerates (most-selective label
+// index, else every node, both in ascending id order). nullopt when the
+// scan cannot be partitioned: no patterns, or the seed variable is
+// pre-bound by the input record (the scan then visits one pinned node).
+std::optional<std::vector<NodeId>> TopLevelSeeds(
+    const std::vector<const PathPattern*>& views,
+    const std::vector<size_t>& order, const PropertyGraph& graph,
+    const Record& input) {
+  if (views.empty()) return std::nullopt;
+  const PathPattern& first = *views[order[0]];
+  if (first.nodes.empty()) return std::nullopt;
+  const NodePattern& np = first.nodes.front();
+  if (!np.variable.empty() && input.Find(np.variable) != nullptr) {
+    return std::nullopt;
+  }
+  if (const std::string* label = MostSelectiveLabel(np, graph)) {
+    const std::set<NodeId>& indexed = graph.NodesWithLabelSet(*label);
+    return std::vector<NodeId>(indexed.begin(), indexed.end());
+  }
+  return graph.NodeIds();
+}
+
+// Partitioned execution: `seeds` is cut into fixed-size morsels, each
+// matched by an independent Matcher on a pool task (own output vector,
+// own relationship-isomorphism state, own EvalContext copy). Serial
+// equivalence: between top-level seeds the serial matcher's
+// used_rels_/clause_rels_ are empty (every DFS branch erases what it
+// inserts on unwind), so per-morsel matchers see identical state, and
+// concatenating their outputs in morsel order — ascending seed order —
+// reproduces the serial bag, content and order. On failure the morsels
+// preceding the first failed one plus that morsel's partial output are
+// kept, which is exactly the serial abort point.
+Status MatchPartitioned(const std::vector<const PathPattern*>& views,
+                        const std::vector<size_t>& order,
+                        const std::vector<NodeId>& seeds,
+                        const PropertyGraph& graph, const Record& input,
+                        EvalContext& ctx, std::vector<Record>* out,
+                        const MatchParallelism& par) {
+  const size_t morsel_size = std::max<size_t>(par.morsel_size, 1);
+  const size_t num_morsels = (seeds.size() + morsel_size - 1) / morsel_size;
+  std::vector<std::vector<Record>> morsel_out(num_morsels);
+  std::vector<Status> morsel_status(num_morsels, Status::OK());
+  const int64_t start_micros = TraceRecorder::NowMicros();
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_morsels);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    tasks.push_back([&, m] {
+      const size_t begin = m * morsel_size;
+      const size_t end = std::min(seeds.size(), begin + morsel_size);
+      // Private context copy; parallelism cleared so nothing matched
+      // inside a morsel (e.g. an exists() predicate) fans out again.
+      EvalContext morsel_ctx = ctx;
+      morsel_ctx.set_match_parallelism(nullptr);
+      Matcher matcher(graph, morsel_ctx, views, &morsel_out[m]);
+      matcher.set_order(order);
+      matcher.set_seed_slice(seeds.data() + begin, seeds.data() + end);
+      try {
+        morsel_status[m] = matcher.Run(input);
+      } catch (const std::exception& e) {
+        morsel_status[m] =
+            Status::Internal(std::string("match morsel threw: ") + e.what());
+      } catch (...) {
+        morsel_status[m] = Status::Internal("match morsel threw");
+      }
+    });
+  }
+  ThreadPool::BatchPtr batch = par.pool->SubmitBatch(std::move(tasks));
+  par.pool->WaitAll(batch);
+
+  // Observability from the submitting thread only — for the engine that
+  // is the query's single evaluating worker, so the per-query histogram
+  // keeps a single writer.
+  if (par.partitions != nullptr) {
+    par.partitions->Increment(static_cast<int64_t>(num_morsels));
+  }
+  if (par.seed_candidates != nullptr) {
+    par.seed_candidates->Record(static_cast<int64_t>(seeds.size()));
+  }
+  if (par.tracer != nullptr && par.tracer->enabled()) {
+    par.tracer->AddComplete(
+        "match_morsels", "match", start_micros,
+        TraceRecorder::NowMicros() - start_micros,
+        {{"query", par.query_label},
+         {"seeds", std::to_string(seeds.size())},
+         {"morsels", std::to_string(num_morsels)},
+         {"morsel_size", std::to_string(morsel_size)}});
+  }
+
+  size_t emit = num_morsels;
+  size_t total = 0;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    total += morsel_out[m].size();
+    if (!morsel_status[m].ok()) {
+      emit = m + 1;
+      break;
+    }
+  }
+  out->reserve(out->size() + total);
+  for (size_t m = 0; m < emit; ++m) {
+    for (Record& r : morsel_out[m]) out->push_back(std::move(r));
+    if (!morsel_status[m].ok()) return morsel_status[m];
+  }
+  return Status::OK();
+}
+
+// Shared driver behind both public entry points: plans the order, then
+// either fans the top-level seed scan out in morsels (pool granted, seed
+// variable free, domain at least min_seeds) or runs the serial DFS.
+Status MatchViews(const std::vector<const PathPattern*>& views,
+                  const PropertyGraph& graph, const Record& input,
+                  EvalContext& ctx, std::vector<Record>* out,
+                  const MatchOptions& options) {
+  std::vector<size_t> order = ResolveOrder(views, graph, input, options);
+  const MatchParallelism* par =
+      options.parallel != nullptr ? options.parallel : ctx.match_parallelism();
+  if (par != nullptr && par->pool != nullptr && par->pool->size() > 1) {
+    std::optional<std::vector<NodeId>> seeds =
+        TopLevelSeeds(views, order, graph, input);
+    if (seeds.has_value() &&
+        seeds->size() >= std::max<size_t>(par->min_seeds, 1)) {
+      return MatchPartitioned(views, order, *seeds, graph, input, ctx, out,
+                              *par);
+    }
+  }
+  Matcher matcher(graph, ctx, views, out);
+  matcher.set_order(std::move(order));
+  const Record* saved = ctx.record();
+  Status s = matcher.Run(input);
+  ctx.set_record(saved);
+  return s;
+}
 
 }  // namespace
 
@@ -526,24 +737,15 @@ Status MatchPatterns(const std::vector<PathPattern>& patterns,
   std::vector<const PathPattern*> views;
   views.reserve(patterns.size());
   for (const PathPattern& p : patterns) views.push_back(&p);
-  Matcher matcher(graph, ctx, views, out);
-  if (options.optimize_pattern_order && views.size() > 1) {
-    matcher.set_order(PlanPatternOrder(views, graph, input));
-  }
-  const Record* saved = ctx.record();
-  Status s = matcher.Run(input);
-  ctx.set_record(saved);
-  return s;
+  return MatchViews(views, graph, input, ctx, out, options);
 }
 
 Status MatchSinglePattern(const PathPattern& pattern,
                           const PropertyGraph& graph, const Record& input,
                           EvalContext& ctx, std::vector<Record>* out) {
-  Matcher matcher(graph, ctx, {&pattern}, out);
-  const Record* saved = ctx.record();
-  Status s = matcher.Run(input);
-  ctx.set_record(saved);
-  return s;
+  // Inherits intra-query parallelism from the context, so a top-level
+  // exists(<pattern>) over a large seed domain partitions too.
+  return MatchViews({&pattern}, graph, input, ctx, out, MatchOptions{});
 }
 
 }  // namespace seraph

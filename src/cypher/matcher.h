@@ -11,18 +11,59 @@
 //
 // shortestPath(...) / allShortestPaths(...) path patterns are evaluated by
 // BFS between all candidate endpoint bindings.
+//
+// With a MatchParallelism spec the seed candidates of the first processed
+// pattern are partitioned into fixed-size morsels fanned out on a shared
+// ThreadPool; morsel outputs are concatenated in ascending seed order, so
+// the result bag — content *and* order — is bit-identical to serial
+// execution at any thread count (docs/INTERNALS.md, "Intra-query
+// parallelism").
 #ifndef SERAPH_CYPHER_MATCHER_H_
 #define SERAPH_CYPHER_MATCHER_H_
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "cypher/ast.h"
 #include "cypher/eval.h"
 #include "graph/property_graph.h"
 #include "table/record.h"
 
 namespace seraph {
+
+// Intra-query parallelism for pattern matching. The first seed
+// enumeration of a MATCH (the label-indexed node list or full node scan
+// feeding the DFS) is split into `morsel_size` chunks; each morsel runs
+// the full recursive match on a pool task with its own output vector and
+// its own per-branch relationship-isomorphism state. Everything the
+// morsels share — graph, patterns, parameters — is read-only for the
+// duration of the call.
+//
+// Fan-out happens only when a pool with >1 worker is supplied, the first
+// pattern's seed node is not pinned by a pre-bound variable, and the
+// seed domain has at least `min_seeds` candidates — small graphs stay on
+// the serial path untouched.
+struct MatchParallelism {
+  ThreadPool* pool = nullptr;  // Not owned; null = serial.
+  // Fan out only when the seed domain is at least this large; below it
+  // the partitioning overhead outweighs the DFS work.
+  size_t min_seeds = 2048;
+  // Seed candidates per morsel.
+  size_t morsel_size = 512;
+  // Observability; all optional (not owned). The counter/histogram are
+  // written once per fan-out from the thread driving the match — for the
+  // engine that is the query's single evaluating worker, preserving the
+  // registry's single-writer histogram contract.
+  Counter* partitions = nullptr;        // seraph_match_partitions_total
+  Histogram* seed_candidates = nullptr; // seraph_match_seed_candidates
+  TraceRecorder* tracer = nullptr;      // Span per morsel batch.
+  std::string query_label;              // "query" arg on spans.
+};
 
 struct MatchOptions {
   // Greedy join-order optimization across the comma-separated patterns of
@@ -32,6 +73,10 @@ struct MatchOptions {
   // starts. Purely an execution-order change — the result bag is
   // identical (ablated in bench_match's BM_JoinOrder).
   bool optimize_pattern_order = true;
+  // Morsel-partitioned parallel seed matching (null = serial, or inherit
+  // a spec from EvalContext::match_parallelism when one is set there).
+  // The spec must outlive the call.
+  const MatchParallelism* parallel = nullptr;
 };
 
 // Appends to `out` every record extending `input` with bindings for the

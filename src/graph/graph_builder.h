@@ -12,6 +12,7 @@
 #include <initializer_list>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "graph/property_graph.h"
@@ -24,6 +25,16 @@ class GraphBuilder {
 
   // Adds (or merges) a node. Repeated ids merge, mirroring stream ingestion.
   GraphBuilder& Node(int64_t id, std::initializer_list<std::string> labels,
+                     Value::Map properties = {}) {
+    NodeData data;
+    data.labels.insert(labels.begin(), labels.end());
+    data.properties = std::move(properties);
+    graph_.MergeNode(NodeId{id}, data);
+    return *this;
+  }
+
+  // Vector overload for programmatic label sets (random generators).
+  GraphBuilder& Node(int64_t id, const std::vector<std::string>& labels,
                      Value::Map properties = {}) {
     NodeData data;
     data.labels.insert(labels.begin(), labels.end());

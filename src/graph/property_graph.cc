@@ -185,6 +185,18 @@ std::vector<NodeId> PropertyGraph::NodesWithLabel(
   return std::vector<NodeId>(it->second.begin(), it->second.end());
 }
 
+size_t PropertyGraph::CountNodesWithLabel(const std::string& label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? 0 : it->second.size();
+}
+
+const std::set<NodeId>& PropertyGraph::NodesWithLabelSet(
+    const std::string& label) const {
+  static const std::set<NodeId>* kEmpty = new std::set<NodeId>();
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? *kEmpty : it->second;
+}
+
 std::vector<RelId> PropertyGraph::RelationshipsWithType(
     const std::string& type) const {
   auto it = type_index_.find(type);

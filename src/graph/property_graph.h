@@ -118,6 +118,15 @@ class PropertyGraph {
   // Nodes carrying `label` (ascending id order).
   std::vector<NodeId> NodesWithLabel(const std::string& label) const;
 
+  // Number of nodes carrying `label`, without materializing them — the
+  // matcher's seed-cost estimates are on the hot path.
+  size_t CountNodesWithLabel(const std::string& label) const;
+
+  // The label-index entry itself (ascending id order; a shared empty set
+  // for unknown labels). Copy-free iteration for seed enumeration; the
+  // reference is invalidated by any mutation of the graph.
+  const std::set<NodeId>& NodesWithLabelSet(const std::string& label) const;
+
   // Relationships of type `type` (ascending id order).
   std::vector<RelId> RelationshipsWithType(const std::string& type) const;
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "cypher/executor.h"
+#include "cypher/matcher.h"
 #include "graph/graph_union.h"
 #include "seraph/seraph_parser.h"
 
@@ -68,6 +69,10 @@ struct QueryMetricHandles {
   Histogram* stage_policy = nullptr;
   Histogram* stage_sink = nullptr;
   Histogram* eval_total = nullptr;
+  // Intra-query parallel matching (written by the query's evaluating
+  // worker via MatchParallelism — see cypher/matcher.h).
+  Counter* match_partitions = nullptr;
+  Histogram* match_seeds = nullptr;
 };
 
 struct ContinuousEngine::QueryState {
@@ -105,6 +110,10 @@ struct ContinuousEngine::QueryState {
   QueryStats stats;
   Histogram eval_latency_micros;
   QueryMetricHandles metrics;
+  // Intra-query parallel matching spec handed to the executor. `pool` is
+  // set by the scheduler per batch (non-null only when the batch leaves
+  // spare workers) and read by this query's single evaluating worker.
+  MatchParallelism match_par;
 };
 
 namespace {
@@ -154,6 +163,10 @@ QueryMetricHandles MakeQueryMetrics(MetricsRegistry* registry,
   m.stage_policy = stage("policy");
   m.stage_sink = stage("sink");
   m.eval_total = registry->HistogramFor("seraph_query_eval_micros", q);
+  m.match_partitions =
+      registry->CounterFor("seraph_match_partitions_total", q);
+  m.match_seeds =
+      registry->HistogramFor("seraph_match_seed_candidates", q);
   return m;
 }
 
@@ -362,6 +375,16 @@ Status ContinuousEngine::Register(RegisteredQuery query) {
   }
   state->query = std::move(query);
   state->metrics = MakeQueryMetrics(&metrics_, state->query.name);
+  // Static parts of the intra-query parallelism spec; the scheduler fills
+  // in `pool` per batch when it grants parallel matching.
+  state->match_par.min_seeds =
+      static_cast<size_t>(std::max(options_.match_min_seeds, 1));
+  state->match_par.morsel_size =
+      static_cast<size_t>(std::max(options_.match_morsel_size, 1));
+  state->match_par.partitions = state->metrics.match_partitions;
+  state->match_par.seed_candidates = state->metrics.match_seeds;
+  state->match_par.tracer = options_.tracer;
+  state->match_par.query_label = state->query.name;
   std::string name = state->query.name;
   queries_.emplace(std::move(name), std::move(state));
   metrics_.GaugeFor("seraph_queries_registered")
@@ -487,6 +510,12 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
   // the order the serial min-scan produced, so output is identical at any
   // thread count.
   const int threads = ThreadPool::ResolveThreads(options_.eval_threads);
+  // One pool serves both parallelism levels; it is sized for whichever is
+  // wider. Intra-query (morsel) parallelism is granted per batch, only
+  // when the batch leaves spare workers — a full batch already keeps the
+  // pool busy with whole queries.
+  const int match_threads = ThreadPool::ResolveThreads(options_.match_threads);
+  const int pool_threads = std::max(threads, match_threads);
   std::vector<QueryState*> batch;
   std::vector<PendingDelivery> outputs;
   std::vector<Status> statuses;
@@ -515,10 +544,17 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
 
     outputs.assign(batch.size(), PendingDelivery{});
     statuses.assign(batch.size(), Status::OK());
-    if (threads > 1 && batch.size() > 1) {
-      if (pool_ == nullptr || pool_->size() != threads) {
-        pool_ = std::make_unique<ThreadPool>(threads);
-      }
+    const bool parallel_queries = threads > 1 && batch.size() > 1;
+    const bool parallel_match =
+        match_threads > 1 && static_cast<int>(batch.size()) < pool_threads;
+    if ((parallel_queries || parallel_match) &&
+        (pool_ == nullptr || pool_->size() != pool_threads)) {
+      pool_ = std::make_unique<ThreadPool>(pool_threads);
+    }
+    for (QueryState* state : batch) {
+      state->match_par.pool = parallel_match ? pool_.get() : nullptr;
+    }
+    if (parallel_queries) {
       futures.clear();
       futures.reserve(batch.size());
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -778,6 +814,10 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
     exec.now = t;
     exec.window = widest_window;
     exec.optimize_match_order = options_.optimize_match_order;
+    // Intra-query morsel parallelism, when the scheduler granted it for
+    // this batch (match_par.pool set by AdvanceTo).
+    exec.match_parallelism =
+        state->match_par.pool != nullptr ? &state->match_par : nullptr;
     // Share the clause/projection structures without copying expression
     // trees: move them into a temporary SingleQuery and back (the
     // executor only reads).
@@ -919,8 +959,10 @@ void ContinuousEngine::HandleEvalFailure(QueryState* state, Timestamp t,
   }
 }
 
-int EvalThreadsFromEnv(int fallback) {
-  const char* raw = std::getenv("SERAPH_EVAL_THREADS");
+namespace {
+
+int ThreadsFromEnvVar(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const long value = std::strtol(raw, &end, 10);
@@ -928,6 +970,16 @@ int EvalThreadsFromEnv(int fallback) {
     return fallback;
   }
   return static_cast<int>(value);
+}
+
+}  // namespace
+
+int EvalThreadsFromEnv(int fallback) {
+  return ThreadsFromEnvVar("SERAPH_EVAL_THREADS", fallback);
+}
+
+int MatchThreadsFromEnv(int fallback) {
+  return ThreadsFromEnvVar("SERAPH_MATCH_THREADS", fallback);
 }
 
 }  // namespace seraph

@@ -111,6 +111,17 @@ struct EngineOptions {
   // the coordinator in deterministic (timestamp, query name) order, so
   // output is identical to the serial engine at any thread count.
   int eval_threads = 1;
+  // Intra-query parallel pattern matching (docs/INTERNALS.md, "Intra-query
+  // parallelism"). 1 (default) keeps matching serial; 0 means one worker
+  // per hardware thread; N > 1 lets a query's top-level seed scan fan out
+  // in morsels on the shared pool. The scheduler grants it only when the
+  // due batch is smaller than the pool (spare workers exist); results are
+  // bit-identical to serial matching at any thread count.
+  int match_threads = 1;
+  // Fan out only when the seed domain has at least this many candidates.
+  int match_min_seeds = 2048;
+  // Seed candidates per morsel.
+  int match_morsel_size = 512;
   // Query isolation: after this many *consecutive* failed evaluations a
   // query is disabled (it stops being scheduled; the rest of the fleet
   // keeps running — the query-side mirror of sink quarantine). 0 never
@@ -250,6 +261,9 @@ class ContinuousEngine {
   // instant form one batch); with `eval_threads` > 1 a batch's
   // evaluations run concurrently, while delivery to sinks always happens
   // sequentially on the calling thread in (timestamp, query name) order.
+  // With `match_threads` > 1 and a batch smaller than the pool, a query's
+  // top-level seed scan additionally fans out in morsels on the spare
+  // workers (results stay bit-identical to serial matching).
   // A query whose evaluation fails at runtime no longer fails the call:
   // the error is recorded per query (StatsFor(...).last_error,
   // seraph_query_eval_failures_total), dead-lettered when a queue is
@@ -351,6 +365,9 @@ class ContinuousEngine {
 // is unset or malformed. Tools and tests use this so CI can run whole
 // suites with a parallel engine (e.g. under TSan).
 int EvalThreadsFromEnv(int fallback);
+
+// Same contract for SERAPH_MATCH_THREADS (intra-query parallel matching).
+int MatchThreadsFromEnv(int fallback);
 
 }  // namespace seraph
 

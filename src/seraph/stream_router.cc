@@ -20,7 +20,7 @@ StreamRouter::Predicate AcceptAll() {
 
 StreamRouter::Predicate HasLabel(std::string label) {
   return [label = std::move(label)](const PropertyGraph& graph, Timestamp) {
-    return !graph.NodesWithLabel(label).empty();
+    return graph.CountNodesWithLabel(label) > 0;
   };
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite that tracks the engine's performance trajectory
+# (bench_match: pattern matching incl. morsel-parallel scaling;
+# bench_parallel_queries: inter-query scheduler scaling) and writes one
+# google-benchmark JSON file per binary for archiving as a CI artifact.
+#
+#   tools/run_benches.sh [build-dir] [output-dir]
+#
+# Defaults: build-dir = build, output-dir = bench-results. Extra repetition
+# or filter knobs can be passed via BENCH_ARGS (forwarded verbatim).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+BENCHES=(bench_match bench_parallel_queries)
+
+mkdir -p "${OUT_DIR}"
+for bench in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${BUILD_DIR} --target ${bench})" >&2
+    exit 1
+  fi
+  echo "== ${bench} =="
+  "${bin}" \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json \
+    ${BENCH_ARGS:-}
+done
+echo "wrote $(ls "${OUT_DIR}"/*.json | wc -l) result files to ${OUT_DIR}/"

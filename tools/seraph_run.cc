@@ -3,6 +3,7 @@
 //   seraph_run <query.seraph> <events.log> [--csv | --json] [--stats]
 //              [--explain] [--metrics=<path|->] [--trace=<path>]
 //              [--progress=<n>] [--dead-letter=<path>] [--threads=<n>]
+//              [--match-threads=<n>]
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
 // the text format of io/graph_text.h (`@ <ISO datetime>` headers followed
@@ -41,6 +42,13 @@
 //                     any thread count. The SERAPH_EVAL_THREADS
 //                     environment variable supplies the default when the
 //                     flag is absent.
+//   --match-threads=<n>  intra-query parallel pattern matching (morsel-
+//                     partitioned seed scan; docs/INTERNALS.md,
+//                     "Intra-query parallelism"): 1 = serial matching
+//                     (default), 0 = one worker per hardware thread.
+//                     Results are bit-identical at any thread count. The
+//                     SERAPH_MATCH_THREADS environment variable supplies
+//                     the default when the flag is absent.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -109,8 +117,10 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string dead_letter_path;
   long progress_every = 0;
-  // --threads beats SERAPH_EVAL_THREADS beats serial.
+  // --threads beats SERAPH_EVAL_THREADS beats serial; --match-threads
+  // beats SERAPH_MATCH_THREADS likewise.
   int eval_threads = EvalThreadsFromEnv(1);
+  int match_threads = MatchThreadsFromEnv(1);
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
     std::string value;
@@ -147,13 +157,22 @@ int main(int argc, char** argv) {
                     "(0 = hardware concurrency)");
       }
       eval_threads = static_cast<int>(parsed);
+    } else if (FlagValue(arg, "--match-threads=", &value)) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return Fail("--match-threads expects a non-negative thread count "
+                    "(0 = hardware concurrency)");
+      }
+      match_threads = static_cast<int>(parsed);
     } else if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: seraph_run <query.seraph> <events.log> "
              "[--csv | --json] [--stats] [--explain]\n"
              "                  [--metrics=<path|->] [--trace=<path>] "
              "[--progress=<n>]\n"
-             "                  [--dead-letter=<path>] [--threads=<n>]\n";
+             "                  [--dead-letter=<path>] [--threads=<n>] "
+             "[--match-threads=<n>]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -198,6 +217,7 @@ int main(int argc, char** argv) {
     options.dead_letter = &dead_letters;
   }
   options.eval_threads = eval_threads;
+  options.match_threads = match_threads;
   ContinuousEngine engine(options);
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
