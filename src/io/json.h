@@ -10,7 +10,9 @@
 #define SERAPH_IO_JSON_H_
 
 #include <string>
+#include <string_view>
 
+#include "common/result.h"
 #include "table/record.h"
 #include "table/table.h"
 #include "table/time_table.h"
@@ -22,6 +24,16 @@ namespace io {
 // Appends the JSON encoding of `value` to `*out`.
 void AppendJsonValue(const Value& value, std::string* out);
 std::string ToJson(const Value& value);
+
+// Parses one JSON document into the Value domain, inverting the mapping
+// above where it is invertible: objects shaped {"$node": id} /
+// {"$rel": id} / {"$path": {...}} decode back to entity references;
+// numbers containing '.', 'e', or 'E' decode as floats, bare integers as
+// ints. The lossy directions stay lossy by design — datetimes and
+// durations were exported as ISO strings and re-import as strings (their
+// re-export is byte-identical, which is the dead-letter round-trip
+// contract). Trailing non-whitespace after the document is an error.
+Result<Value> ParseJson(std::string_view text);
 
 // {"a": 1, "b": "x"} — fields in name order.
 std::string ToJson(const Record& record);

@@ -616,10 +616,112 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
         state->next_eval = t + state->query.every;
       }
     }
+
+    // Batch barrier: every query due at t has evaluated, delivered, and
+    // advanced its grid, and no instant < next batch's t is pending.
+    // Advancing the clock here (not only at the end) makes this a
+    // consistent cut — exactly what a checkpoint needs. Catch-up batches
+    // (a revived or late-registered query evaluating instants the clock
+    // already passed) must not move it backwards.
+    if (!clock_started_ || t > clock_) clock_ = t;
+    clock_started_ = true;
+    ++batches_completed_;
+    if (checkpoint_callback_ && options_.checkpoint_every > 0 &&
+        batches_completed_ % options_.checkpoint_every == 0) {
+      Status written = checkpoint_callback_();
+      if (!written.ok()) {
+        // A failed checkpoint widens the replay window back to the last
+        // good one; it must not take the pipeline down with it.
+        SERAPH_LOG(ERROR) << "checkpoint at " << t.ToString()
+                          << " failed: " << written.ToString();
+      }
+    }
   }
   clock_ = now;
   clock_started_ = true;
   return Status::OK();
+}
+
+EngineCheckpoint ContinuousEngine::CaptureCheckpoint() const {
+  EngineCheckpoint image;
+  image.clock = clock_;
+  image.clock_started = clock_started_;
+  image.evaluations_run = evaluations_run_;
+  for (const auto& [name, stream] : streams_) {
+    image.streams.emplace(name, stream.elements());
+  }
+  for (const auto& [name, state] : queries_) {
+    QueryCheckpoint q;
+    q.name = name;
+    q.next_eval = state->next_eval;
+    q.done = state->done;
+    q.disabled = state->disabled;
+    q.consecutive_failures = state->consecutive_failures;
+    q.has_previous = state->has_previous;
+    q.previous_result = state->previous_result;
+    q.stats = state->stats;
+    image.queries.push_back(std::move(q));
+  }
+  return image;
+}
+
+Status ContinuousEngine::RestoreFrom(const EngineCheckpoint& checkpoint) {
+  if (clock_started_ || evaluations_run_ != 0) {
+    return Status::InvalidArgument(
+        "RestoreFrom requires a freshly constructed engine (clock already "
+        "started)");
+  }
+  for (const auto& [name, stream] : streams_) {
+    if (!stream.empty()) {
+      return Status::InvalidArgument(
+          "RestoreFrom requires a freshly constructed engine (stream '" +
+          name + "' already has elements)");
+    }
+  }
+  // Definitions first, state second: every checkpointed query must already
+  // be re-registered so its windows/metrics exist to overlay.
+  for (const QueryCheckpoint& q : checkpoint.queries) {
+    if (!queries_.contains(q.name)) {
+      return Status::InvalidArgument(
+          "checkpoint names query '" + q.name +
+          "', which is not registered; re-register all queries before "
+          "RestoreFrom");
+    }
+  }
+  // Rebuild the streams via direct appends: the checkpointed elements
+  // predate the restored clock, so IngestTo's clock guard (and its
+  // ingestion counters — restored elements were already counted in their
+  // first life) must not apply.
+  for (const auto& [name, elements] : checkpoint.streams) {
+    PropertyGraphStream* stream = MutableStream(name);
+    for (const StreamElement& element : elements) {
+      SERAPH_RETURN_IF_ERROR(stream->Append(element.graph,
+                                            element.timestamp));
+    }
+  }
+  for (const QueryCheckpoint& q : checkpoint.queries) {
+    QueryState* state = queries_.at(q.name).get();
+    state->next_eval = q.next_eval;
+    state->done = q.done;
+    state->disabled = q.disabled;
+    state->metrics.disabled->Set(q.disabled ? 1 : 0);
+    state->consecutive_failures = q.consecutive_failures;
+    state->has_previous = q.has_previous;
+    state->previous_result = q.previous_result;
+    state->stats = q.stats;
+    // Window state stays fresh: the next evaluation re-derives every
+    // window from the restored stream (has_last_range is false, so the
+    // unchanged-window reuse fast path cannot fire on stale bounds).
+  }
+  clock_ = checkpoint.clock;
+  clock_started_ = checkpoint.clock_started;
+  evaluations_run_ = checkpoint.evaluations_run;
+  return Status::OK();
+}
+
+void ContinuousEngine::SetCheckpointCallback(
+    std::function<Status()> callback) {
+  checkpoint_callback_ = std::move(callback);
 }
 
 Status ContinuousEngine::Drain() {

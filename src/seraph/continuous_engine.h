@@ -22,6 +22,7 @@
 #ifndef SERAPH_SERAPH_CONTINUOUS_ENGINE_H_
 #define SERAPH_SERAPH_CONTINUOUS_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -127,6 +128,13 @@ struct EngineOptions {
   // keeps running — the query-side mirror of sink quarantine). 0 never
   // disables. ReviveQuery lifts it.
   int query_error_budget = 5;
+  // Durability cadence (docs/INTERNALS.md, "Durability & recovery"): when
+  // > 0 and a checkpoint callback is installed (SetCheckpointCallback —
+  // persist::CheckpointManager::AttachTo does both), the callback fires
+  // at the batch barrier of AdvanceTo after every `checkpoint_every`
+  // completed evaluation batches, where streams_ and all per-query state
+  // are frozen and consistent. 0 (default) disables the cadence.
+  int64_t checkpoint_every = 0;
 };
 
 // Per-sink failure handling (see docs/INTERNALS.md, "Failure model").
@@ -165,6 +173,63 @@ struct QueryStats {
   // Query isolation (docs/INTERNALS.md, "Failure model").
   int64_t eval_failures = 0;    // Evaluations that failed at runtime.
   Status last_error;            // Most recent evaluation error (OK if none).
+
+  friend bool operator==(const QueryStats& a, const QueryStats& b) {
+    return a.evaluations == b.evaluations &&
+           a.reused_results == b.reused_results &&
+           a.rows_emitted == b.rows_emitted &&
+           a.result_rows == b.result_rows &&
+           a.snapshots_incremental == b.snapshots_incremental &&
+           a.snapshots_rebuilt == b.snapshots_rebuilt &&
+           a.window_elements_added == b.window_elements_added &&
+           a.window_elements_evicted == b.window_elements_evicted &&
+           a.fresh_executions == b.fresh_executions &&
+           a.window_micros == b.window_micros &&
+           a.snapshot_micros == b.snapshot_micros &&
+           a.match_micros == b.match_micros &&
+           a.policy_micros == b.policy_micros &&
+           a.sink_micros == b.sink_micros &&
+           a.eval_failures == b.eval_failures && a.last_error == b.last_error;
+  }
+};
+
+// The persisted dynamic state of one registered query — everything the
+// replay-exactness contract needs to resume the query's ET grid and
+// report policy mid-stream (docs/INTERNALS.md, "Durability & recovery").
+// The query *definition* is not captured: recovery re-registers queries
+// from their source of truth (the run's configuration) and then overlays
+// this state. Window/snapshotter internals and the unchanged-window reuse
+// bookkeeping are deliberately absent: a restored query re-derives its
+// windows from the restored streams on its next evaluation, and skipping
+// the reuse fast path changes cost, never output.
+struct QueryCheckpoint {
+  std::string name;
+  // ET-grid position: the next evaluation instant.
+  Timestamp next_eval;
+  bool done = false;      // RETURN-once query already produced its table.
+  bool disabled = false;  // Disabled by the error budget (or RETURN fail).
+  int consecutive_failures = 0;
+  // Report-policy state: the previous evaluation's un-annotated result,
+  // the minuend/subtrahend of the ON ENTERING / ON EXITING bag
+  // differences.
+  bool has_previous = false;
+  Table previous_result;
+  QueryStats stats;
+};
+
+// A full, consistent image of the engine's dynamic state, captured at a
+// batch barrier (CaptureCheckpoint) and reapplied to a freshly
+// constructed engine (RestoreFrom). persist/codec.h defines its binary
+// encoding; persist/checkpoint.h writes it to disk.
+struct EngineCheckpoint {
+  Timestamp clock;
+  bool clock_started = false;
+  int64_t evaluations_run = 0;
+  // Every stream's observed prefix, element graphs shared (not deep
+  // copied) with the live engine.
+  std::map<std::string, std::vector<StreamElement>> streams;
+  // Name-ordered, one entry per registered query.
+  std::vector<QueryCheckpoint> queries;
 };
 
 class ContinuousEngine {
@@ -275,6 +340,28 @@ class ContinuousEngine {
   // Advances to the latest timestamp across all streams.
   Status Drain();
 
+  // ---- Durability (docs/INTERNALS.md, "Durability & recovery") ----
+
+  // A consistent image of the engine's dynamic state. Only safe at a
+  // quiescent point: between AdvanceTo calls, or from the checkpoint
+  // callback (which the engine fires at a batch barrier).
+  EngineCheckpoint CaptureCheckpoint() const;
+
+  // Rebuilds dynamic state from `checkpoint` into this engine. The engine
+  // must be freshly constructed (no ingested elements, clock not started)
+  // with every query named in the checkpoint already re-registered —
+  // recovery re-creates definitions first, then overlays dynamic state.
+  // After RestoreFrom, replaying the stream suffix past the checkpoint
+  // clock produces output bit-identical to an uninterrupted run.
+  Status RestoreFrom(const EngineCheckpoint& checkpoint);
+
+  // Installs the hook fired at the AdvanceTo batch barrier every
+  // `EngineOptions::checkpoint_every` batches (persist::CheckpointManager
+  // wires itself in through this). A failing callback is logged and
+  // counted by the manager but never fails AdvanceTo: losing one
+  // checkpoint widens the replay window, it does not corrupt the run.
+  void SetCheckpointCallback(std::function<Status()> callback);
+
   // The default stream (name "").
   const PropertyGraphStream& stream() const;
   // A named stream; a shared empty stream is returned for names that
@@ -352,6 +439,10 @@ class ContinuousEngine {
   Timestamp clock_;
   bool clock_started_ = false;
   int64_t evaluations_run_ = 0;
+  // Durability hook state (SetCheckpointCallback /
+  // EngineOptions::checkpoint_every).
+  std::function<Status()> checkpoint_callback_;
+  int64_t batches_completed_ = 0;
   // Lazily created on the first AdvanceTo that resolves to > 1 thread;
   // workers are reused across batches and engine lifetimes of calls.
   std::unique_ptr<ThreadPool> pool_;

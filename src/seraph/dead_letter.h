@@ -17,6 +17,7 @@
 #ifndef SERAPH_SERAPH_DEAD_LETTER_H_
 #define SERAPH_SERAPH_DEAD_LETTER_H_
 
+#include <istream>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -68,6 +69,10 @@ class DeadLetterQueue {
   // missing from the output.
   void AddEvaluationFailure(const std::string& query,
                             Timestamp evaluation_time, Status error);
+  // Appends an already-assembled entry, updating the per-kind counters —
+  // the restore path (persist/recovery, ImportJsonLines) re-adds entries
+  // captured in an earlier life.
+  void Add(DeadLetterEntry entry);
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -83,6 +88,16 @@ class DeadLetterQueue {
   // docs/INTERNALS.md): sink results carry the full rows payload;
   // elements carry a node/relationship summary of the graph.
   Status WriteJsonLines(std::ostream* os) const;
+
+  // The inverse of WriteJsonLines: parses one JSON object per line and
+  // appends the entries (blank lines skipped), so dead letters survive a
+  // restart. The export is lossy where noted there — an element's graph
+  // reimports as a placeholder with the recorded node/relationship
+  // counts, and sink-result rows come back canonicalized — but
+  // export → import → re-export is byte-identical, which the round-trip
+  // test asserts. Stops at the first malformed line, leaving entries
+  // already imported in place.
+  Status ImportJsonLines(std::istream* is);
 
  private:
   std::vector<DeadLetterEntry> entries_;

@@ -88,7 +88,10 @@ Result<int64_t> StreamDriver::PumpAll() {
   // first, preserving timestamp order into the engine.
   SERAPH_RETURN_IF_ERROR(DrainPending(&delivered));
   while (true) {
-    const size_t batch_start = queue_->OffsetOf(options_.consumer);
+    // A consumer the queue has never seen polls from 0, so the unknown
+    // case resolves to the same starting offset.
+    const size_t batch_start =
+        queue_->OffsetOf(options_.consumer).value_or(0);
     auto batch = queue_->Poll(options_.consumer, options_.poll_batch);
     // A failed poll consumed nothing; surface it and let the caller
     // re-pump.

@@ -25,9 +25,11 @@ Status EventQueue::Seek(const std::string& consumer, size_t offset) {
   return Status::OK();
 }
 
-size_t EventQueue::OffsetOf(const std::string& consumer) const {
+std::optional<size_t> EventQueue::OffsetOf(
+    const std::string& consumer) const {
   auto it = offsets_.find(consumer);
-  return it == offsets_.end() ? 0 : it->second;
+  if (it == offsets_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace seraph

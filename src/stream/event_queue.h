@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,16 @@ class EventQueue {
   // Repositions a consumer (replay / delivery-failure recovery).
   virtual Status Seek(const std::string& consumer, size_t offset);
 
-  // The consumer's committed offset (0 for unknown consumers).
-  virtual size_t OffsetOf(const std::string& consumer) const;
+  // The consumer's committed offset, or nullopt for consumers that never
+  // subscribed/polled/sought. The distinction matters for recovery: a
+  // checkpointed consumer at offset 0 must re-seek to 0, while an unknown
+  // consumer has no committed position to resume from.
+  virtual std::optional<size_t> OffsetOf(const std::string& consumer) const;
+
+  // Whether the queue has a committed offset for `consumer`.
+  bool HasConsumer(const std::string& consumer) const {
+    return offsets_.contains(consumer);
+  }
 
   size_t size() const { return log_.size(); }
   const PropertyGraphStream& log() const { return log_; }

@@ -1,0 +1,834 @@
+// Durability subsystem: codec round trips, atomic checkpoint commits,
+// and crash recovery (docs/INTERNALS.md, "Durability & recovery").
+//
+// The central property asserted here is replay exactness: for a crash at
+// ANY point — mid-segment-write, before the manifest rename, during
+// recovery itself, or with the newest generation torn / bit-flipped /
+// partially deleted — restoring from the newest valid manifest and
+// replaying the queue suffix produces sink output bit-identical to the
+// uninterrupted run. Concretely: the recovered run emits exactly the
+// oracle's suffix starting at the restored evaluation count, so
+// (pre-crash committed output) + (post-restore output) == oracle.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fault.h"
+#include "fault_doubles.h"
+#include "graph/graph_builder.h"
+#include "io/json.h"
+#include "persist/checkpoint.h"
+#include "persist/codec.h"
+#include "persist/recovery.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/dead_letter.h"
+#include "seraph/stream_driver.h"
+
+namespace seraph {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::AppendFileHeader;
+using persist::AppendFrame;
+using persist::CheckpointManager;
+using persist::CheckpointOptions;
+using persist::Decoder;
+using persist::Encoder;
+using persist::FrameReader;
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraph Item(int64_t id) {
+  return GraphBuilder().Node(id, {"X"}, {{"id", Value::Int(id)}}).Build();
+}
+
+constexpr char kCountQuery[] = R"(
+  REGISTER QUERY q STARTING AT '1970-01-01T00:05'
+  { MATCH (n:X) WITHIN PT30M EMIT n.id SNAPSHOT EVERY PT5M })";
+
+constexpr char kConsumer[] = "seraph-engine";
+
+// The victim runs produce in rounds and pump after each round, so a
+// "crash" can land between any two pumps.
+constexpr int kRounds = 6;
+constexpr int kPerRound = 3;
+constexpr int kEvents = kRounds * kPerRound;
+
+void ProduceRound(EventQueue* queue, int round) {
+  for (int i = round * kPerRound; i < (round + 1) * kPerRound; ++i) {
+    ASSERT_TRUE(queue->Produce(Item(i + 1), T(1 + 2 * i)).ok());
+  }
+}
+
+// The uninterrupted run: same events, same pump cadence, no faults.
+TimeVaryingTable Oracle() {
+  EventQueue queue;
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  EXPECT_TRUE(engine.RegisterText(kCountQuery).ok());
+  StreamDriver driver(&queue, &engine, {});
+  for (int r = 0; r < kRounds; ++r) {
+    ProduceRound(&queue, r);
+    auto pumped = driver.PumpAll();
+    EXPECT_TRUE(pumped.ok()) << pumped.status();
+  }
+  EXPECT_TRUE(driver.Finish().ok());
+  return sink.ResultsFor("q");
+}
+
+// `actual` must be exactly `expected[from..]`, windows and rows included.
+void ExpectSuffixMatch(const TimeVaryingTable& actual,
+                       const TimeVaryingTable& expected, size_t from) {
+  ASSERT_LE(from, expected.size());
+  ASSERT_EQ(actual.size(), expected.size() - from);
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual.entries()[i].window, expected.entries()[from + i].window);
+    EXPECT_EQ(io::ToJson(actual.entries()[i].table.Canonicalized()),
+              io::ToJson(expected.entries()[from + i].table.Canonicalized()))
+        << "recovered result " << i << " diverged from oracle result "
+        << (from + i);
+  }
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "seraph_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+class CheckpointRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Codec: round trips and corruption detection
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, ValueCodecRoundTripsEveryKind) {
+  std::vector<Value> values;
+  values.push_back(Value::Null());
+  values.push_back(Value::Bool(true));
+  values.push_back(Value::Int(-42));
+  values.push_back(Value::Float(3.25));
+  values.push_back(Value::String("héllo \"wörld\""));
+  values.push_back(Value::MakeList({Value::Int(1), Value::String("x")}));
+  values.push_back(Value::MakeMap(
+      {{"a", Value::Int(1)}, {"b", Value::MakeList({Value::Null()})}}));
+  values.push_back(Value::DateTime(T(90)));
+  values.push_back(Value::Dur(Duration::FromMinutes(7)));
+  values.push_back(Value::Node(NodeId{17}));
+  values.push_back(Value::Relationship(RelId{23}));
+  PathValue path;
+  path.nodes = {NodeId{1}, NodeId{2}};
+  path.rels = {RelId{5}};
+  values.push_back(Value::Path(std::move(path)));
+
+  for (const Value& value : values) {
+    Encoder enc;
+    persist::WriteValue(value, &enc);
+    Decoder dec(enc.buffer());
+    auto back = persist::ReadValue(&dec);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(dec.done());
+    // Deterministic encoding: re-encoding the decoded value reproduces
+    // the exact bytes (the basis of byte-identical checkpoints).
+    Encoder again;
+    persist::WriteValue(*back, &again);
+    EXPECT_EQ(enc.buffer(), again.buffer());
+  }
+}
+
+TEST_F(CheckpointRecoveryTest, GraphAndElementCodecRoundTrip) {
+  PropertyGraph graph = GraphBuilder()
+                            .Node(1, {"Station"}, {{"id", Value::Int(1)}})
+                            .Node(5, {"E-Bike", "Vehicle"})
+                            .Rel(9, 5, 1, "rentedAt",
+                                 {{"user", Value::String("ann")}})
+                            .Build();
+  Encoder enc;
+  persist::WriteGraph(graph, &enc);
+  Decoder dec(enc.buffer());
+  auto back = persist::ReadGraph(&dec);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back->num_nodes(), 2u);
+  EXPECT_EQ(back->num_relationships(), 1u);
+  Encoder again;
+  persist::WriteGraph(*back, &again);
+  EXPECT_EQ(enc.buffer(), again.buffer());
+
+  StreamElement element{std::make_shared<const PropertyGraph>(graph), T(12)};
+  Encoder element_enc;
+  persist::WriteStreamElement(element, &element_enc);
+  Decoder element_dec(element_enc.buffer());
+  auto element_back = persist::ReadStreamElement(&element_dec);
+  ASSERT_TRUE(element_back.ok()) << element_back.status();
+  EXPECT_EQ(element_back->timestamp, T(12));
+  EXPECT_EQ(element_back->graph->num_nodes(), 2u);
+}
+
+TEST_F(CheckpointRecoveryTest, QueryCheckpointCodecRoundTrip) {
+  QueryCheckpoint query;
+  query.name = "q";
+  query.next_eval = T(25);
+  query.done = false;
+  query.disabled = true;
+  query.consecutive_failures = 3;
+  query.has_previous = true;
+  Table previous(std::set<std::string>{"n.id"});
+  Record row;
+  row.Set("n.id", Value::Int(7));
+  previous.AppendUnchecked(std::move(row));
+  query.previous_result = std::move(previous);
+  query.stats.evaluations = 11;
+  query.stats.rows_emitted = 4;
+  query.stats.eval_failures = 2;
+  query.stats.last_error = Status::EvaluationError("boom");
+
+  Encoder enc;
+  persist::WriteQueryCheckpoint(query, &enc);
+  Decoder dec(enc.buffer());
+  auto back = persist::ReadQueryCheckpoint(&dec);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back->name, "q");
+  EXPECT_EQ(back->next_eval, T(25));
+  EXPECT_TRUE(back->disabled);
+  EXPECT_EQ(back->consecutive_failures, 3);
+  EXPECT_TRUE(back->has_previous);
+  EXPECT_TRUE(back->stats == query.stats);
+  Encoder again;
+  persist::WriteQueryCheckpoint(*back, &again);
+  EXPECT_EQ(enc.buffer(), again.buffer());
+}
+
+TEST_F(CheckpointRecoveryTest, DeadLetterEntryCodecRoundTrip) {
+  DeadLetterQueue dlq;
+  TimeAnnotatedTable result;
+  result.window = TimeInterval{T(0), T(5)};
+  Table table(std::set<std::string>{"n.id"});
+  Record row;
+  row.Set("n.id", Value::Int(3));
+  table.AppendUnchecked(std::move(row));
+  result.table = std::move(table);
+  dlq.AddSinkResult("csv", "q", T(5), result,
+                    Status::EvaluationError("schema mismatch"), 3);
+  dlq.AddElement(kConsumer,
+                 StreamElement{std::make_shared<const PropertyGraph>(Item(7)),
+                               T(9)},
+                 Status::Unavailable("poison"), 2);
+  dlq.AddEvaluationFailure("q2", T(10), Status::EvaluationError("div"));
+
+  for (const DeadLetterEntry& entry : dlq.entries()) {
+    Encoder enc;
+    persist::WriteDeadLetterEntry(entry, &enc);
+    Decoder dec(enc.buffer());
+    auto back = persist::ReadDeadLetterEntry(&dec);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(dec.done());
+    EXPECT_EQ(back->kind, entry.kind);
+    EXPECT_EQ(back->source, entry.source);
+    EXPECT_EQ(back->error, entry.error);
+    Encoder again;
+    persist::WriteDeadLetterEntry(*back, &again);
+    EXPECT_EQ(enc.buffer(), again.buffer());
+  }
+}
+
+TEST_F(CheckpointRecoveryTest, FrameReaderRejectsCorruption) {
+  std::string file;
+  AppendFileHeader(&file);
+  Encoder enc;
+  enc.PutString("payload");
+  enc.PutI64(42);
+  AppendFrame(enc.buffer(), &file);
+
+  {
+    FrameReader reader(file);
+    ASSERT_TRUE(reader.ReadHeader().ok());
+    auto frame = reader.Next();
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(reader.Next().status().code(), StatusCode::kNotFound);
+  }
+  {
+    // Bit flip inside the payload: the frame CRC catches it.
+    std::string flipped = file;
+    flipped[flipped.size() - 3] ^= 0x40;
+    FrameReader reader(flipped);
+    ASSERT_TRUE(reader.ReadHeader().ok());
+    EXPECT_EQ(reader.Next().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Torn write: the file ends mid-frame.
+    std::string torn = file.substr(0, file.size() - 2);
+    FrameReader reader(torn);
+    ASSERT_TRUE(reader.ReadHeader().ok());
+    EXPECT_EQ(reader.Next().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Wrong magic: not one of our files at all.
+    std::string alien = file;
+    alien[0] ^= 0xFF;
+    FrameReader reader(alien);
+    EXPECT_EQ(reader.ReadHeader().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine capture/restore (no disk)
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, CaptureRestoreRoundTripContinuesIdentically) {
+  ContinuousEngine original;
+  CollectingSink before;
+  original.AddSink(&before);
+  ASSERT_TRUE(original.RegisterText(kCountQuery).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(original.Ingest(Item(i + 1), T(1 + 2 * i)).ok());
+  }
+  ASSERT_TRUE(original.AdvanceTo(T(11)).ok());
+  EngineCheckpoint checkpoint = original.CaptureCheckpoint();
+  EXPECT_EQ(checkpoint.queries.size(), 1u);
+  EXPECT_EQ(checkpoint.streams.at("").size(), 6u);
+
+  ContinuousEngine restored;
+  ASSERT_TRUE(restored.RegisterText(kCountQuery).ok());
+  ASSERT_TRUE(restored.RestoreFrom(checkpoint).ok());
+  EXPECT_EQ(restored.evaluations_run(), original.evaluations_run());
+  EXPECT_TRUE(*restored.StatsFor("q") == *original.StatsFor("q"));
+  EXPECT_EQ(restored.stream().size(), original.stream().size());
+
+  // Restoring into a non-fresh engine is rejected.
+  EXPECT_FALSE(restored.RestoreFrom(checkpoint).ok());
+  // A checkpoint naming an unregistered query is rejected.
+  ContinuousEngine empty;
+  EXPECT_FALSE(empty.RestoreFrom(checkpoint).ok());
+
+  // Both engines continue over the same future events and must emit
+  // identical output from here on.
+  CollectingSink original_after;
+  CollectingSink restored_after;
+  original.AddSink(&original_after);
+  restored.AddSink(&restored_after);
+  for (int i = 6; i < 12; ++i) {
+    ASSERT_TRUE(original.Ingest(Item(i + 1), T(1 + 2 * i)).ok());
+    ASSERT_TRUE(restored.Ingest(Item(i + 1), T(1 + 2 * i)).ok());
+  }
+  ASSERT_TRUE(original.AdvanceTo(T(25)).ok());
+  ASSERT_TRUE(restored.AdvanceTo(T(25)).ok());
+  const TimeVaryingTable& a = original_after.ResultsFor("q");
+  const TimeVaryingTable& b = restored_after.ResultsFor("q");
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].window, b.entries()[i].window);
+    EXPECT_EQ(io::ToJson(a.entries()[i].table.Canonicalized()),
+              io::ToJson(b.entries()[i].table.Canonicalized()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint manager: commits, cadence, GC, failure accounting
+// ---------------------------------------------------------------------------
+
+// Runs a checkpointed victim for `pumps` rounds over `queue`. When
+// `arm_point` is non-null, the fault point is armed at probability 1
+// right before the final pump, so every checkpoint attempt of that pump
+// dies — simulating a crash mid-commit. Returns the last committed
+// generation via `last_seq`.
+void RunVictim(const std::string& dir, EventQueue* queue, int pumps,
+               const char* arm_point, uint64_t* last_seq) {
+  EngineOptions options;
+  options.checkpoint_every = 1;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  CheckpointOptions checkpoint_options;
+  checkpoint_options.dir = dir;
+  checkpoint_options.keep = 2;
+  checkpoint_options.fsync = false;
+  CheckpointManager manager(checkpoint_options);
+  manager.BindQueue(kConsumer, queue);
+  manager.AttachTo(&engine);
+  StreamDriver driver(queue, &engine, {});
+  for (int r = 0; r < pumps; ++r) {
+    if (r == pumps - 1 && arm_point != nullptr) {
+      FaultInjector::Global().ArmProbability(arm_point, 1.0);
+    }
+    ProduceRound(queue, r);
+    auto pumped = driver.PumpAll();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+  }
+  if (arm_point != nullptr) {
+    EXPECT_GT(manager.checkpoint_failures(), 0)
+        << arm_point << " never fired";
+    EXPECT_GT(engine.metrics()
+                  .FindCounter("seraph_checkpoint_failures_total")
+                  ->value(),
+              0);
+  } else if (pumps > 0) {
+    EXPECT_GT(manager.checkpoints_written(), 0);
+    EXPECT_GT(
+        engine.metrics().FindCounter("seraph_checkpoint_total")->value(), 0);
+    EXPECT_GT(engine.metrics()
+                  .FindHistogram("seraph_checkpoint_duration_micros")
+                  ->count(),
+              0);
+  }
+  if (last_seq != nullptr) *last_seq = manager.last_seq();
+  // The victim "crashes" here: engine, driver, and manager are abandoned
+  // with whatever the directory holds.
+}
+
+// Recovers from `dir` into a fresh engine over the same queue, pumps the
+// remaining rounds, and asserts the output is exactly the oracle suffix.
+void RecoverAndCheck(const std::string& dir, EventQueue* queue,
+                     const TimeVaryingTable& expected, int pumps_done) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  size_t restored_evals = 0;
+  auto report =
+      persist::RecoverAll(dir, &engine, queue, {kConsumer}, nullptr);
+  if (report.ok()) {
+    restored_evals = static_cast<size_t>(engine.StatsFor("q")->evaluations);
+    // The committed offset and the checkpointed stream cover the same
+    // prefix, so the backlog is exactly what the checkpoint missed.
+    ASSERT_EQ(report->replay_backlog.at(kConsumer),
+              queue->size() - engine.stream().size());
+    EXPECT_EQ(engine.metrics()
+                  .FindCounter("seraph_recovery_replayed_elements")
+                  ->value(),
+              static_cast<int64_t>(report->replay_backlog.at(kConsumer)));
+  } else {
+    // No generation ever committed: recovery degrades to a cold start.
+    ASSERT_EQ(report.status().code(), StatusCode::kNotFound)
+        << report.status();
+    queue->Subscribe(kConsumer);
+  }
+  StreamDriver driver(queue, &engine, {});
+  for (int r = pumps_done; r < kRounds; ++r) {
+    ProduceRound(queue, r);
+    auto pumped = driver.PumpAll();
+    ASSERT_TRUE(pumped.ok()) << pumped.status();
+  }
+  // Replay whatever backlog remains even when no rounds are left.
+  auto pumped = driver.PumpAll();
+  ASSERT_TRUE(pumped.ok()) << pumped.status();
+  ASSERT_TRUE(driver.Finish().ok());
+  EXPECT_EQ(engine.stream().size(), static_cast<size_t>(kEvents));
+  ExpectSuffixMatch(sink.ResultsFor("q"), expected, restored_evals);
+}
+
+TEST_F(CheckpointRecoveryTest, GarbageCollectionKeepsConfiguredGenerations) {
+  const std::string dir = FreshDir("gc");
+  EventQueue queue;
+  uint64_t last_seq = 0;
+  RunVictim(dir, &queue, kRounds, nullptr, &last_seq);
+  ASSERT_GT(last_seq, 2u);
+  int manifests = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_FALSE(name.ends_with(".tmp")) << name << " leaked";
+    uint64_t seq = 0;
+    if (persist::ParseManifestFileName(name, &seq)) {
+      ++manifests;
+      EXPECT_GE(seq, last_seq - 1);  // keep = 2.
+    }
+  }
+  EXPECT_EQ(manifests, 2);
+  // Both retained generations load cleanly.
+  EXPECT_TRUE(persist::LoadCheckpoint(dir, last_seq).ok());
+  EXPECT_TRUE(persist::LoadCheckpoint(dir, last_seq - 1).ok());
+  EXPECT_FALSE(persist::LoadCheckpoint(dir, last_seq - 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The crash-recovery equivalence property
+// ---------------------------------------------------------------------------
+
+// Crash at every fault point, at every pump boundary: after recovery the
+// output continues bit-identically. "none" crashes with all checkpoints
+// committed; the checkpoint.* points kill every commit of the final pump,
+// forcing the fallback to the previous generation (or a cold start when
+// the very first pump's checkpoints die).
+TEST_F(CheckpointRecoveryTest, CrashRecoveryEquivalenceAtEveryFaultPoint) {
+  const TimeVaryingTable expected = Oracle();
+  // The CI crash-recovery matrix sets SERAPH_CRASH_POINT to pin one
+  // fault point per job leg ("none" = crash with no injected checkpoint
+  // fault); locally, unset, every point runs.
+  const char* only_point = std::getenv("SERAPH_CRASH_POINT");
+  int case_id = 0;
+  for (const char* point :
+       {static_cast<const char*>(nullptr), "checkpoint.write",
+        "checkpoint.rename"}) {
+    if (only_point != nullptr &&
+        std::string(only_point) != (point ? point : "none")) {
+      continue;
+    }
+    for (int crash_pump = 1; crash_pump <= kRounds; ++crash_pump) {
+      SCOPED_TRACE(std::string("point=") + (point ? point : "none") +
+                   " crash_pump=" + std::to_string(crash_pump));
+      FaultInjector::Global().Reset();
+      const std::string dir =
+          FreshDir("equiv_" + std::to_string(case_id++));
+      EventQueue queue;
+      RunVictim(dir, &queue, crash_pump, point, nullptr);
+      FaultInjector::Global().Reset();
+      RecoverAndCheck(dir, &queue, expected, crash_pump);
+    }
+  }
+}
+
+TEST_F(CheckpointRecoveryTest, RecoveryReadFaultIsTransientAndRetriable) {
+  const TimeVaryingTable expected = Oracle();
+  const std::string dir = FreshDir("recovery_read");
+  EventQueue queue;
+  RunVictim(dir, &queue, 3, nullptr, nullptr);
+
+  // The first recovery attempt dies at the recovery.read fault point —
+  // the process killed mid-recovery. The retry (a fresh engine, as after
+  // a real restart) succeeds and continues exactly.
+  FaultInjector::Global().ArmNext("recovery.read", 1);
+  {
+    ContinuousEngine engine;
+    ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+    auto report =
+        persist::RecoverAll(dir, &engine, &queue, {kConsumer}, nullptr);
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.status().IsTransient()) << report.status();
+  }
+  RecoverAndCheck(dir, &queue, expected, 3);
+}
+
+// Corruption of the newest generation (bit rot, torn manifest, lost
+// segment) falls back to the previous generation — and the run still
+// continues bit-identically from there.
+TEST_F(CheckpointRecoveryTest, CorruptedNewestGenerationFallsBack) {
+  const TimeVaryingTable expected = Oracle();
+  struct Corruption {
+    const char* name;
+    void (*apply)(const std::string& dir, uint64_t last_seq);
+  };
+  const Corruption corruptions[] = {
+      {"bitflip",
+       [](const std::string& dir, uint64_t last_seq) {
+         const std::string path =
+             dir + "/queries-" + std::to_string(last_seq) + ".seg";
+         std::fstream file(path, std::ios::in | std::ios::out |
+                                     std::ios::binary);
+         ASSERT_TRUE(file.is_open());
+         file.seekp(12);
+         char byte = 0;
+         file.seekg(12);
+         file.get(byte);
+         byte = static_cast<char>(byte ^ 0x20);
+         file.seekp(12);
+         file.put(byte);
+       }},
+      {"torn_manifest",
+       [](const std::string& dir, uint64_t last_seq) {
+         const std::string path = dir + "/" + persist::ManifestFileName(
+                                                  last_seq);
+         const auto size = fs::file_size(path);
+         ASSERT_GT(size, 4u);
+         fs::resize_file(path, size / 2);
+       }},
+      {"deleted_segment",
+       [](const std::string& dir, uint64_t last_seq) {
+         const std::string path =
+             dir + "/offsets-" + std::to_string(last_seq) + ".seg";
+         ASSERT_TRUE(fs::remove(path));
+       }},
+  };
+  int case_id = 0;
+  for (const Corruption& corruption : corruptions) {
+    SCOPED_TRACE(corruption.name);
+    const std::string dir =
+        FreshDir("corrupt_" + std::to_string(case_id++));
+    EventQueue queue;
+    uint64_t last_seq = 0;
+    RunVictim(dir, &queue, 3, nullptr, &last_seq);
+    ASSERT_GT(last_seq, 1u);
+    corruption.apply(dir, last_seq);
+
+    // The damaged generation is skipped; the fallback loads.
+    auto latest = persist::LoadLatestCheckpoint(dir);
+    ASSERT_TRUE(latest.ok()) << latest.status();
+    EXPECT_LT(latest->seq, last_seq);
+
+    // Inspection reports the damage instead of hiding it.
+    auto summaries = persist::InspectCheckpoints(dir);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    ASSERT_GE(summaries->size(), 2u);
+    EXPECT_EQ(summaries->front().seq, last_seq);
+    EXPECT_FALSE(summaries->front().valid);
+    EXPECT_FALSE(summaries->front().error.empty());
+    EXPECT_TRUE((*summaries)[1].valid);
+
+    RecoverAndCheck(dir, &queue, expected, 3);
+  }
+}
+
+// The checkpoint barrier fires per batch INSIDE AdvanceTo, so falling
+// back past the final generation can restore a mid-batch cut: the clock
+// sits at its last evaluated instant while later instants of the same
+// AdvanceTo already ran (and were lost with the newer generation). With
+// every event already committed there is no queue backlog, so only the
+// interrupted-batch catch-up inside RecoverAll (Drain to the restored
+// horizon) can produce the missing suffix — this pins it.
+TEST_F(CheckpointRecoveryTest, MidBatchRestoreCompletesInterruptedBatch) {
+  const TimeVaryingTable expected = Oracle();
+  const std::string dir = FreshDir("midbatch");
+  EventQueue queue;
+  uint64_t last_seq = 0;
+  RunVictim(dir, &queue, kRounds, nullptr, &last_seq);
+  ASSERT_GT(last_seq, 1u);
+  // Simulate a crash before the final manifest rename: the newest
+  // generation never committed, the fallback is the barrier one batch
+  // earlier in the same AdvanceTo.
+  ASSERT_TRUE(fs::remove(dir + "/" + persist::ManifestFileName(last_seq)));
+  auto fallback = persist::LoadCheckpoint(dir, last_seq - 1);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  ASSERT_EQ(fallback->engine.queries.size(), 1u);
+  const size_t restored_evals =
+      static_cast<size_t>(fallback->engine.queries[0].stats.evaluations);
+  ASSERT_LT(restored_evals, expected.size());
+
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  auto report =
+      persist::RecoverAll(dir, &engine, &queue, {kConsumer}, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->seq, last_seq - 1);
+  EXPECT_EQ(report->replay_backlog.at(kConsumer), 0u);
+
+  // Nothing left to replay — the missing evaluations must already have
+  // fired during RecoverAll, on the restored window contents.
+  StreamDriver driver(&queue, &engine, {});
+  auto pumped = driver.PumpAll();
+  ASSERT_TRUE(pumped.ok()) << pumped.status();
+  EXPECT_EQ(*pumped, 0);
+  ASSERT_TRUE(driver.Finish().ok());
+  ASSERT_GT(sink.ResultsFor("q").size(), 0u);
+  ExpectSuffixMatch(sink.ResultsFor("q"), expected, restored_evals);
+}
+
+// ---------------------------------------------------------------------------
+// Driver resume under chaos (satellite): exactly-once with flaky
+// transport and flaky sinks on both sides of the crash
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, DriverResumeExactlyOnceUnderChaos) {
+  uint64_t seed = 42;
+  if (const char* env = std::getenv("SERAPH_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  const TimeVaryingTable expected = Oracle();
+  const std::string dir = FreshDir("chaos_" + std::to_string(seed));
+
+  FlakyQueue queue(/*fail_every=*/3);
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Seed(seed);
+  fi.ArmProbability("driver.deliver", 0.2);
+
+  CollectingSink collected_before;
+  size_t accepted_before = 0;
+  constexpr int kCrashPump = 3;
+  {
+    EngineOptions options;
+    options.checkpoint_every = 1;
+    ContinuousEngine engine(options);
+    FlakySink flaky(&collected_before, /*fail_every=*/3);
+    SinkPolicy sink_policy;
+    sink_policy.retry.max_attempts = 4;
+    engine.AddSink(&flaky, "chaos-sink", sink_policy);
+    ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+    CheckpointOptions checkpoint_options;
+    checkpoint_options.dir = dir;
+    checkpoint_options.keep = 2;
+    checkpoint_options.fsync = false;
+    CheckpointManager manager(checkpoint_options);
+    manager.BindQueue(kConsumer, &queue);
+    manager.AttachTo(&engine);
+    StreamDriver::Options driver_options;
+    driver_options.poll_batch = 4;
+    driver_options.delivery_retry.max_attempts = 3;
+    driver_options.element_error_budget = 1000;
+    StreamDriver driver(&queue, &engine, driver_options);
+    for (int r = 0; r < kCrashPump; ++r) {
+      ProduceRound(&queue, r);
+      bool pumped_ok = false;
+      for (int i = 0; i < 10'000 && !pumped_ok; ++i) {
+        auto pumped = driver.PumpAll();
+        if (pumped.ok()) {
+          pumped_ok = true;
+        } else {
+          EXPECT_TRUE(pumped.status().IsTransient()) << pumped.status();
+        }
+      }
+      ASSERT_TRUE(pumped_ok) << "chaos pump did not converge";
+    }
+    EXPECT_GT(manager.checkpoints_written(), 0);
+    accepted_before = collected_before.ResultsFor("q").size();
+    // Crash.
+  }
+
+  // The restart faces the same chaos (different draw) and must still
+  // produce exactly the oracle suffix.
+  fi.Reset();
+  fi.Seed(seed + 1);
+  fi.ArmProbability("driver.deliver", 0.2);
+
+  ContinuousEngine engine;
+  CollectingSink collected_after;
+  FlakySink flaky(&collected_after, /*fail_every=*/3);
+  SinkPolicy sink_policy;
+  sink_policy.retry.max_attempts = 4;
+  engine.AddSink(&flaky, "chaos-sink", sink_policy);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  auto report = persist::RecoverAll(dir, &engine, &queue, {kConsumer},
+                                    nullptr);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const size_t restored_evals =
+      static_cast<size_t>(engine.StatsFor("q")->evaluations);
+
+  StreamDriver::Options driver_options;
+  driver_options.poll_batch = 4;
+  driver_options.delivery_retry.max_attempts = 3;
+  driver_options.element_error_budget = 1000;
+  StreamDriver driver(&queue, &engine, driver_options);
+  for (int r = kCrashPump; r < kRounds; ++r) {
+    ProduceRound(&queue, r);
+    bool pumped_ok = false;
+    for (int i = 0; i < 10'000 && !pumped_ok; ++i) {
+      auto pumped = driver.PumpAll();
+      if (pumped.ok()) pumped_ok = true;
+    }
+    ASSERT_TRUE(pumped_ok) << "post-restore pump did not converge";
+  }
+  ASSERT_TRUE(driver.Finish().ok());
+
+  // Exactly once into the engine: the restored prefix plus the replayed
+  // suffix covers every produced element once.
+  EXPECT_EQ(engine.stream().size(), static_cast<size_t>(kEvents));
+  // The pre-crash run emitted at least the checkpointed prefix; recovery
+  // resumes exactly at the restored evaluation count, so the committed
+  // prefix plus the recovered output is the oracle with no gap and no
+  // duplicate.
+  ASSERT_GE(accepted_before, restored_evals);
+  ExpectSuffixMatch(collected_after.ResultsFor("q"), expected,
+                    restored_evals);
+  const TimeVaryingTable& prefix = collected_before.ResultsFor("q");
+  for (size_t i = 0; i < restored_evals; ++i) {
+    EXPECT_EQ(io::ToJson(prefix.entries()[i].table.Canonicalized()),
+              io::ToJson(expected.entries()[i].table.Canonicalized()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dead letters survive the crash (checkpointed and JSON round trip)
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, DeadLettersAreCheckpointedAndRestored) {
+  const std::string dir = FreshDir("dlq");
+  EngineOptions options;
+  options.checkpoint_every = 1;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  DeadLetterQueue dlq;
+  dlq.AddEvaluationFailure("q", T(5), Status::EvaluationError("lost eval"));
+  CheckpointOptions checkpoint_options;
+  checkpoint_options.dir = dir;
+  checkpoint_options.fsync = false;
+  CheckpointManager manager(checkpoint_options);
+  manager.BindDeadLetter(&dlq);
+  ASSERT_TRUE(engine.Ingest(Item(1), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(5)).ok());
+  ASSERT_TRUE(manager.Checkpoint(&engine).ok());
+
+  auto image = persist::LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(image.ok()) << image.status();
+  ASSERT_EQ(image->dead_letters.size(), 1u);
+  DeadLetterQueue restored;
+  ASSERT_TRUE(persist::RestoreDeadLetters(*image, &restored).ok());
+  EXPECT_EQ(restored.evaluation_failures(), 1);
+  EXPECT_EQ(restored.entries()[0].query, "q");
+  EXPECT_EQ(restored.entries()[0].error,
+            Status::EvaluationError("lost eval"));
+}
+
+TEST_F(CheckpointRecoveryTest, DeadLetterJsonRoundTripIsByteIdentical) {
+  DeadLetterQueue dlq;
+  TimeAnnotatedTable result;
+  result.window = TimeInterval{T(0), T(5)};
+  Table table(std::set<std::string>{"n.id", "who"});
+  Record row;
+  row.Set("n.id", Value::Int(3));
+  row.Set("who", Value::String("ann \"the\" bold"));
+  table.AppendUnchecked(std::move(row));
+  Record row2;
+  row2.Set("n.id", Value::Node(NodeId{4}));
+  row2.Set("who", Value::Float(2.5));
+  table.AppendUnchecked(std::move(row2));
+  result.table = std::move(table);
+  dlq.AddSinkResult("csv", "q", T(5), result,
+                    Status::EvaluationError("schema mismatch"), 3);
+  dlq.AddElement(kConsumer,
+                 StreamElement{std::make_shared<const PropertyGraph>(
+                                   GraphBuilder()
+                                       .Node(1, {"X"})
+                                       .Node(2, {"Y"})
+                                       .Rel(1, 1, 2, "liked")
+                                       .Build()),
+                               T(9)},
+                 Status::Unavailable("poison"), 2);
+  dlq.AddEvaluationFailure("q2", T(10), Status::EvaluationError("div"));
+
+  std::ostringstream first;
+  ASSERT_TRUE(dlq.WriteJsonLines(&first).ok());
+
+  DeadLetterQueue imported;
+  std::istringstream in(first.str());
+  ASSERT_TRUE(imported.ImportJsonLines(&in).ok());
+  EXPECT_EQ(imported.size(), dlq.size());
+  EXPECT_EQ(imported.sink_results(), dlq.sink_results());
+  EXPECT_EQ(imported.elements(), dlq.elements());
+  EXPECT_EQ(imported.evaluation_failures(), dlq.evaluation_failures());
+
+  // export → import → re-export is byte-identical.
+  std::ostringstream second;
+  ASSERT_TRUE(imported.WriteJsonLines(&second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(CheckpointRecoveryTest, DeadLetterImportRejectsMalformedLines) {
+  DeadLetterQueue dlq;
+  std::istringstream in(
+      "{\"kind\":\"evaluation\",\"source\":\"engine\",\"query\":\"q\","
+      "\"at\":\"1970-01-01T00:05\",\"error\":\"OK\",\"attempts\":1}\n"
+      "not json at all\n");
+  Status imported = dlq.ImportJsonLines(&in);
+  EXPECT_FALSE(imported.ok());
+  EXPECT_NE(imported.message().find("line 2"), std::string::npos)
+      << imported;
+  // The valid first line was kept.
+  EXPECT_EQ(dlq.size(), 1u);
+  EXPECT_EQ(dlq.evaluation_failures(), 1);
+}
+
+}  // namespace
+}  // namespace seraph

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -72,9 +73,10 @@ class UnorderedQueue final : public EventQueue {
     return Status::OK();
   }
 
-  size_t OffsetOf(const std::string& consumer) const override {
+  std::optional<size_t> OffsetOf(const std::string& consumer) const override {
     auto it = offsets_.find(consumer);
-    return it == offsets_.end() ? 0 : it->second;
+    if (it == offsets_.end()) return std::nullopt;
+    return it->second;
   }
 
  private:

@@ -83,7 +83,8 @@ TEST(EventQueueTest, ProduceAndPoll) {
   ASSERT_EQ(batch2->size(), 1u);
   EXPECT_EQ((*batch2)[0].timestamp, T(3));
   EXPECT_TRUE(q.Poll("engine", 10)->empty());
-  EXPECT_EQ(q.OffsetOf("engine"), 3u);
+  ASSERT_TRUE(q.OffsetOf("engine").has_value());
+  EXPECT_EQ(*q.OffsetOf("engine"), 3u);
 }
 
 TEST(EventQueueTest, IndependentConsumers) {
@@ -102,7 +103,8 @@ TEST(EventQueueTest, SeekReplays) {
   q.Subscribe("c");
   EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
   ASSERT_TRUE(q.Seek("c", 0).ok());
-  EXPECT_EQ(q.OffsetOf("c"), 0u);
+  ASSERT_TRUE(q.OffsetOf("c").has_value());
+  EXPECT_EQ(*q.OffsetOf("c"), 0u);
   EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
   EXPECT_FALSE(q.Seek("c", 5).ok());
 }
@@ -110,9 +112,14 @@ TEST(EventQueueTest, SeekReplays) {
 TEST(EventQueueTest, UnknownConsumerStartsAtZero) {
   EventQueue q;
   ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
-  EXPECT_EQ(q.OffsetOf("fresh"), 0u);
+  // An unknown consumer has no committed offset — distinguishable from a
+  // subscribed consumer sitting at 0 (the recovery path depends on it).
+  EXPECT_FALSE(q.OffsetOf("fresh").has_value());
+  EXPECT_FALSE(q.HasConsumer("fresh"));
   EXPECT_EQ(q.Poll("fresh", 10)->size(), 1u);
-  EXPECT_EQ(q.OffsetOf("fresh"), 1u);
+  ASSERT_TRUE(q.OffsetOf("fresh").has_value());
+  EXPECT_EQ(*q.OffsetOf("fresh"), 1u);
+  EXPECT_TRUE(q.HasConsumer("fresh"));
 }
 
 }  // namespace

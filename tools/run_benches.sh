@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite that tracks the engine's performance trajectory
 # (bench_match: pattern matching incl. morsel-parallel scaling;
-# bench_parallel_queries: inter-query scheduler scaling) and writes one
-# google-benchmark JSON file per binary for archiving as a CI artifact.
+# bench_parallel_queries: inter-query scheduler scaling; bench_recovery:
+# checkpoint write cost vs. state size and recovery latency vs. replay
+# length) and writes one google-benchmark JSON file per binary for
+# archiving as a CI artifact.
 #
 #   tools/run_benches.sh [build-dir] [output-dir]
 #
@@ -12,7 +14,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
-BENCHES=(bench_match bench_parallel_queries)
+BENCHES=(bench_match bench_parallel_queries bench_recovery)
 
 mkdir -p "${OUT_DIR}"
 for bench in "${BENCHES[@]}"; do

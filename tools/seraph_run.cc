@@ -3,7 +3,9 @@
 //   seraph_run <query.seraph> <events.log> [--csv | --json] [--stats]
 //              [--explain] [--metrics=<path|->] [--trace=<path>]
 //              [--progress=<n>] [--dead-letter=<path>] [--threads=<n>]
-//              [--match-threads=<n>]
+//              [--match-threads=<n>] [--checkpoint-dir=<dir>]
+//              [--checkpoint-every=<n>] [--restore]
+//   seraph_run --inspect-checkpoint --checkpoint-dir=<dir>
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
 // the text format of io/graph_text.h (`@ <ISO datetime>` headers followed
@@ -36,6 +38,23 @@
 //                     SERAPH_FAULT_POINTS="sink.emit=0.05") for chaos
 //                     runs; see common/fault.h.
 //
+// Durability (docs/INTERNALS.md, "Durability & recovery"):
+//   --checkpoint-dir=<dir>  route events through an EventQueue +
+//                     StreamDriver and commit atomic checkpoints (engine
+//                     state, consumer offsets, dead letters) into <dir>
+//                     at the engine's batch barrier.
+//   --checkpoint-every=<n>  checkpoint cadence in evaluation batches
+//                     (default 1, or the SERAPH_CHECKPOINT_EVERY
+//                     environment variable).
+//   --restore         before running, restore engine state and the
+//                     consumer offset from the newest valid checkpoint
+//                     in --checkpoint-dir, then replay only the event
+//                     suffix past it; output continues bit-identically.
+//                     Without a loadable checkpoint the run cold-starts.
+//   --inspect-checkpoint  print every checkpoint generation in
+//                     --checkpoint-dir (segments, sizes, CRC status,
+//                     streams, offsets, queries) and exit.
+//
 // Parallel evaluation (docs/INTERNALS.md, "Parallel evaluation"):
 //   --threads=<n>     evaluation worker threads: 1 = serial (default),
 //                     0 = one per hardware thread. Output is identical at
@@ -59,18 +78,89 @@
 #include "common/fault.h"
 #include "common/trace.h"
 #include "io/graph_text.h"
+#include "persist/checkpoint.h"
+#include "persist/recovery.h"
 #include "seraph/continuous_engine.h"
 #include "seraph/dead_letter.h"
 #include "seraph/seraph_parser.h"
 #include "seraph/sinks.h"
+#include "seraph/stream_driver.h"
+#include "stream/event_queue.h"
 
 namespace {
 
 using namespace seraph;
 
+// Offset key of the tool's queue consumer in checkpoint mode.
+constexpr char kRunConsumer[] = "seraph-run";
+
 int Fail(const std::string& message) {
   std::cerr << "seraph_run: " << message << "\n";
   return 1;
+}
+
+const char* RoleName(persist::SegmentRole role) {
+  switch (role) {
+    case persist::SegmentRole::kQueries:
+      return "queries";
+    case persist::SegmentRole::kOffsets:
+      return "offsets";
+    case persist::SegmentRole::kDeadLetters:
+      return "dead-letters";
+    case persist::SegmentRole::kStream:
+      return "stream";
+  }
+  return "unknown";
+}
+
+// --inspect-checkpoint: a human-readable manifest-by-manifest summary.
+int InspectCheckpoints(const std::string& dir) {
+  auto summaries = persist::InspectCheckpoints(dir);
+  if (!summaries.ok()) return Fail(summaries.status().ToString());
+  if (summaries->empty()) {
+    std::cout << "no checkpoints in '" << dir << "'\n";
+    return 0;
+  }
+  for (const persist::ManifestSummary& summary : *summaries) {
+    std::cout << persist::ManifestFileName(summary.seq) << ": "
+              << (summary.valid ? "VALID" : "INVALID") << "\n";
+    if (!summary.valid) {
+      std::cout << "  error: " << summary.error << "\n";
+    }
+    for (const persist::SegmentSummary& segment : summary.segments) {
+      std::cout << "  " << RoleName(segment.role) << "  " << segment.file
+                << "  " << segment.manifest_size << " bytes";
+      if (!segment.present) {
+        std::cout << "  MISSING";
+      } else if (segment.actual_size != segment.manifest_size) {
+        std::cout << "  SIZE MISMATCH (" << segment.actual_size
+                  << " on disk)";
+      } else {
+        std::cout << (segment.crc_ok ? "  crc ok" : "  CRC MISMATCH");
+      }
+      std::cout << "\n";
+    }
+    if (!summary.image.has_value()) continue;
+    const persist::CheckpointImage& image = *summary.image;
+    std::cout << "  clock: " << image.engine.clock.ToString() << "\n";
+    size_t elements = 0;
+    for (const auto& [name, stream] : image.engine.streams) {
+      elements += stream.size();
+      std::cout << "  stream '" << name << "': " << stream.size()
+                << " element(s)\n";
+    }
+    for (const auto& [consumer, offset] : image.offsets) {
+      std::cout << "  offset " << consumer << ": " << offset << "\n";
+    }
+    for (const QueryCheckpoint& query : image.engine.queries) {
+      std::cout << "  query '" << query.name
+                << "': next_eval=" << query.next_eval.ToString()
+                << ", evaluations=" << query.stats.evaluations
+                << (query.disabled ? ", DISABLED" : "") << "\n";
+    }
+    std::cout << "  dead letters: " << image.dead_letters.size() << "\n";
+  }
+  return 0;
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -116,6 +206,16 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string dead_letter_path;
+  std::string checkpoint_dir;
+  bool restore = false;
+  bool inspect_checkpoint = false;
+  // Cadence default: every batch, overridable by env then flag.
+  long checkpoint_every = 1;
+  if (const char* env = std::getenv("SERAPH_CHECKPOINT_EVERY")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) checkpoint_every = parsed;
+  }
   long progress_every = 0;
   // --threads beats SERAPH_EVAL_THREADS beats serial; --match-threads
   // beats SERAPH_MATCH_THREADS likewise.
@@ -144,6 +244,21 @@ int main(int argc, char** argv) {
       if (dead_letter_path.empty()) {
         return Fail("--dead-letter expects a file path");
       }
+    } else if (FlagValue(arg, "--checkpoint-dir=", &checkpoint_dir)) {
+      if (checkpoint_dir.empty()) {
+        return Fail("--checkpoint-dir expects a directory path");
+      }
+    } else if (FlagValue(arg, "--checkpoint-every=", &value)) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        return Fail("--checkpoint-every expects a positive batch count");
+      }
+      checkpoint_every = parsed;
+    } else if (arg == "--restore") {
+      restore = true;
+    } else if (arg == "--inspect-checkpoint") {
+      inspect_checkpoint = true;
     } else if (FlagValue(arg, "--progress=", &value)) {
       progress_every = std::strtol(value.c_str(), nullptr, 10);
       if (progress_every <= 0) {
@@ -172,13 +287,30 @@ int main(int argc, char** argv) {
              "                  [--metrics=<path|->] [--trace=<path>] "
              "[--progress=<n>]\n"
              "                  [--dead-letter=<path>] [--threads=<n>] "
-             "[--match-threads=<n>]\n";
+             "[--match-threads=<n>]\n"
+             "                  [--checkpoint-dir=<dir>] "
+             "[--checkpoint-every=<n>] [--restore]\n"
+             "       seraph_run --inspect-checkpoint "
+             "--checkpoint-dir=<dir>\n";
       return 0;
     } else {
       positional.push_back(arg);
     }
   }
   if (csv && json) return Fail("--csv and --json are mutually exclusive");
+  if (inspect_checkpoint) {
+    if (checkpoint_dir.empty()) {
+      return Fail("--inspect-checkpoint requires --checkpoint-dir=<dir>");
+    }
+    return InspectCheckpoints(checkpoint_dir);
+  }
+  if (restore && checkpoint_dir.empty()) {
+    return Fail("--restore requires --checkpoint-dir=<dir>");
+  }
+  if (!checkpoint_dir.empty() && progress_every > 0) {
+    return Fail("--progress is not supported with --checkpoint-dir; the "
+                "restore banner reports the replay backlog instead");
+  }
   if (positional.size() != 2) {
     return Fail("expected <query.seraph> <events.log> (see --help)");
   }
@@ -218,6 +350,9 @@ int main(int argc, char** argv) {
   }
   options.eval_threads = eval_threads;
   options.match_threads = match_threads;
+  if (!checkpoint_dir.empty()) {
+    options.checkpoint_every = checkpoint_every;
+  }
   ContinuousEngine engine(options);
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
@@ -233,26 +368,81 @@ int main(int argc, char** argv) {
   if (Status s = engine.Register(std::move(query).value()); !s.ok()) {
     return Fail(s.ToString());
   }
-  size_t ingested = 0;
-  for (const StreamElement& event : *events) {
-    if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
-      return Fail(s.ToString());
-    }
-    ++ingested;
-    if (progress_every > 0 &&
-        ingested % static_cast<size_t>(progress_every) == 0) {
-      // Advance so the progress counters reflect evaluations up to this
-      // event; needs the log in chronological order.
-      if (Status s = engine.AdvanceTo(event.timestamp); !s.ok()) {
-        return Fail(s.ToString() +
-                    " (--progress requires a chronological event log)");
+  if (!checkpoint_dir.empty()) {
+    // Durable mode: route the event log through an EventQueue so the
+    // consumer offset is a checkpointable position, commit a generation
+    // at every batch barrier, and (with --restore) resume from the
+    // newest valid one — replaying only the uncheckpointed suffix.
+    EventQueue queue;
+    for (const StreamElement& event : *events) {
+      if (Status s = queue.Produce(event.graph, event.timestamp); !s.ok()) {
+        return Fail(s.ToString());
       }
+    }
+    persist::CheckpointOptions checkpoint_options;
+    checkpoint_options.dir = checkpoint_dir;
+    persist::CheckpointManager manager(checkpoint_options);
+    manager.BindQueue(kRunConsumer, &queue);
+    manager.BindDeadLetter(&dead_letters);
+    manager.AttachTo(&engine);
+    if (restore) {
+      auto report = persist::RecoverAll(
+          checkpoint_dir, &engine, &queue, {kRunConsumer},
+          options.dead_letter != nullptr ? &dead_letters : nullptr);
+      if (report.ok()) {
+        std::cerr << "[seraph_run] restored checkpoint seq="
+                  << report->seq << ": " << report->queries
+                  << " query(ies), " << report->stream_elements
+                  << " checkpointed element(s), replay backlog "
+                  << report->replay_backlog.at(kRunConsumer) << "\n";
+      } else if (report.status().code() == StatusCode::kNotFound) {
+        std::cerr << "[seraph_run] no checkpoint in '" << checkpoint_dir
+                  << "'; cold-starting\n";
+        queue.Subscribe(kRunConsumer);
+      } else {
+        return Fail(report.status().ToString());
+      }
+    } else {
+      queue.Subscribe(kRunConsumer);
+    }
+    StreamDriver::Options driver_options;
+    driver_options.consumer = kRunConsumer;
+    if (options.dead_letter != nullptr) {
+      driver_options.dead_letter = &dead_letters;
+    }
+    StreamDriver driver(&queue, &engine, driver_options);
+    auto pumped = driver.PumpAll();
+    if (!pumped.ok()) return Fail(pumped.status().ToString());
+    if (Status s = driver.Finish(); !s.ok()) return Fail(s.ToString());
+    std::cerr << "[seraph_run] delivered " << *pumped << " event(s), "
+              << manager.checkpoints_written() << " checkpoint(s) written"
+              << " (last seq=" << manager.last_seq() << ")";
+    if (manager.checkpoint_failures() > 0) {
+      std::cerr << ", " << manager.checkpoint_failures() << " failed";
+    }
+    std::cerr << "\n";
+  } else {
+    size_t ingested = 0;
+    for (const StreamElement& event : *events) {
+      if (Status s = engine.Ingest(event.graph, event.timestamp); !s.ok()) {
+        return Fail(s.ToString());
+      }
+      ++ingested;
+      if (progress_every > 0 &&
+          ingested % static_cast<size_t>(progress_every) == 0) {
+        // Advance so the progress counters reflect evaluations up to this
+        // event; needs the log in chronological order.
+        if (Status s = engine.AdvanceTo(event.timestamp); !s.ok()) {
+          return Fail(s.ToString() +
+                      " (--progress requires a chronological event log)");
+        }
+        PrintProgressLine(engine, name, ingested, events->size());
+      }
+    }
+    if (Status s = engine.Drain(); !s.ok()) return Fail(s.ToString());
+    if (progress_every > 0) {
       PrintProgressLine(engine, name, ingested, events->size());
     }
-  }
-  if (Status s = engine.Drain(); !s.ok()) return Fail(s.ToString());
-  if (progress_every > 0) {
-    PrintProgressLine(engine, name, ingested, events->size());
   }
 
   // Query isolation: evaluation failures no longer abort the run, so
