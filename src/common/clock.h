@@ -1,0 +1,74 @@
+// Injectable microsecond clocks for latency accounting.
+//
+// The emit-latency layer (docs/INTERNALS.md, "Latency accounting & lag")
+// stamps every stream element with an arrival time at ingestion and reads
+// the clock again at sink delivery; the difference is the element's
+// ingest→emit latency. Both reads go through a `Clock` so tests can
+// substitute a `ManualClock` and assert exact histogram contents without
+// wall-clock sleeps.
+//
+// `Clock::Steady()` shares the timebase of `TraceRecorder::NowMicros`
+// (std::chrono::steady_clock microseconds): stamps taken by an EventQueue
+// and latencies computed inside the engine subtract cleanly, and latency
+// samples line up with trace spans.
+#ifndef SERAPH_COMMON_CLOCK_H_
+#define SERAPH_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace seraph {
+
+// A monotonic microsecond clock. Implementations must be safe to read
+// from multiple threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMicros() const = 0;
+
+  // The process-wide steady clock (std::chrono::steady_clock, the same
+  // timebase as TraceRecorder::NowMicros). Never null.
+  static const Clock* Steady();
+};
+
+// Real time: steady_clock microseconds since an arbitrary epoch
+// (differences are meaningful, absolute values are not).
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+inline const Clock* Clock::Steady() {
+  static const SteadyClock* kSteady = new SteadyClock();
+  return kSteady;
+}
+
+// A hand-driven clock for deterministic latency tests: Set/Advance move
+// time, NowMicros reads it. Atomic so a test can tick it while a server
+// thread reads.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t now_micros = 0) : now_(now_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Set(int64_t now_micros) {
+    now_.store(now_micros, std::memory_order_relaxed);
+  }
+  void Advance(int64_t delta_micros) {
+    now_.fetch_add(delta_micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_CLOCK_H_

@@ -120,66 +120,119 @@ std::string FormatDouble(double v) {
 // Histogram
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Percentile over a copied bucket array (so one consistent view feeds all
+// the derived fields of a snapshot).
+int64_t PercentileFrom(const std::array<int64_t, kHistogramBuckets>& buckets,
+                       int64_t count, int64_t min, int64_t max, double p) {
+  if (count == 0) return 0;
+  double target = p * static_cast<double>(count);
+  int64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(seen + buckets[i]) >= target) {
+      // Linear interpolation within the bucket [2^i, 2^(i+1)).
+      double into = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets[i]);
+      double low = static_cast<double>(BucketLow(i));
+      int64_t estimate = static_cast<int64_t>(low + into * low);
+      return std::clamp(estimate, min, max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+// Recomputes mean and the percentile fields from count/sum/buckets.
+void DeriveSnapshotFields(HistogramSnapshot* snap) {
+  snap->mean = snap->count == 0 ? 0.0
+                                : static_cast<double>(snap->sum) /
+                                      static_cast<double>(snap->count);
+  snap->p50 = PercentileFrom(snap->buckets, snap->count, snap->min,
+                             snap->max, 0.50);
+  snap->p90 = PercentileFrom(snap->buckets, snap->count, snap->min,
+                             snap->max, 0.90);
+  snap->p99 = PercentileFrom(snap->buckets, snap->count, snap->min,
+                             snap->max, 0.99);
+  snap->p999 = PercentileFrom(snap->buckets, snap->count, snap->min,
+                              snap->max, 0.999);
+}
+
+}  // namespace
+
 void Histogram::Record(int64_t value) {
+  // Single-writer: plain load+store (no RMW) keeps the hot path at
+  // ordinary-store cost while staying data-race-free against concurrent
+  // Snapshot() readers (a live /metrics scrape).
   if (value < 0) value = 0;
-  ++buckets_[BucketIndex(value)];
-  if (count_ == 0 || value < min_) min_ = value;
-  if (count_ == 0 || value > max_) max_ = value;
-  sum_ += value;
-  ++count_;
+  const int index = BucketIndex(value);
+  buckets_[index].store(buckets_[index].load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  const int64_t count = count_.load(std::memory_order_relaxed);
+  if (count == 0 || value < min_.load(std::memory_order_relaxed)) {
+    min_.store(value, std::memory_order_relaxed);
+  }
+  if (count == 0 || value > max_.load(std::memory_order_relaxed)) {
+    max_.store(value, std::memory_order_relaxed);
+  }
+  sum_.store(sum_.load(std::memory_order_relaxed) + value,
+             std::memory_order_relaxed);
+  count_.store(count + 1, std::memory_order_relaxed);
 }
 
 void Histogram::Reset() {
-  buckets_.fill(0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = 0;
-  max_ = 0;
-}
-
-int64_t Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
-  double target = p * static_cast<double>(count_);
-  int64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    if (static_cast<double>(seen + buckets_[i]) >= target) {
-      // Linear interpolation within the bucket [2^i, 2^(i+1)).
-      double into = (target - static_cast<double>(seen)) /
-                    static_cast<double>(buckets_[i]);
-      double low = static_cast<double>(BucketLow(i));
-      int64_t estimate = static_cast<int64_t>(low + into * low);
-      return std::clamp(estimate, min_, max_);
-    }
-    seen += buckets_[i];
-  }
-  return max_;
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
-  snap.count = count_;
-  snap.sum = sum_;
-  snap.min = min_;
-  snap.max = max_;
-  snap.mean = count_ == 0 ? 0.0
-                          : static_cast<double>(sum_) /
-                                static_cast<double>(count_);
-  snap.p50 = Percentile(0.50);
-  snap.p90 = Percentile(0.90);
-  snap.p99 = Percentile(0.99);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  DeriveSnapshotFields(&snap);
   return snap;
 }
 
+int64_t HistogramSnapshot::BucketUpperBound(int index) {
+  return (int64_t{1} << (index + 1)) - 1;
+}
+
+void MergeHistogramSnapshot(HistogramSnapshot* into,
+                            const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (into->count == 0) {
+    into->min = other.min;
+    into->max = other.max;
+  } else {
+    into->min = std::min(into->min, other.min);
+    into->max = std::max(into->max, other.max);
+  }
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    into->buckets[i] += other.buckets[i];
+  }
+  into->count += other.count;
+  into->sum += other.sum;
+  DeriveSnapshotFields(into);
+}
+
 std::string HistogramSnapshot::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "count=%lld mean=%.1f min=%lld p50=%lld p90=%lld p99=%lld "
-                "max=%lld",
+                "p999=%lld max=%lld",
                 static_cast<long long>(count), mean,
                 static_cast<long long>(min), static_cast<long long>(p50),
                 static_cast<long long>(p90), static_cast<long long>(p99),
-                static_cast<long long>(max));
+                static_cast<long long>(p999), static_cast<long long>(max));
   return buf;
 }
 
@@ -307,7 +360,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
         out += "# TYPE " + name + " gauge\n";
         break;
       case Kind::kHistogram:
-        out += "# TYPE " + name + " summary\n";
+        out += "# TYPE " + name + " histogram\n";
         break;
     }
     for (const auto& [key, series] : family.series) {
@@ -319,13 +372,36 @@ std::string MetricsRegistry::ToPrometheusText() const {
                "\n";
       } else {
         HistogramSnapshot snap = series.histogram->Snapshot();
+        // Summary-style quantile series, kept alongside the native
+        // buckets for human eyes and pre-existing tooling.
         for (auto [q, v] : {std::pair<const char*, int64_t>{"0.5", snap.p50},
                             {"0.9", snap.p90},
-                            {"0.99", snap.p99}}) {
+                            {"0.99", snap.p99},
+                            {"0.999", snap.p999}}) {
           out += RenderMetricName(name, series.labels,
                                   {{"quantile", q}}) +
                  " " + std::to_string(v) + "\n";
         }
+        // Native cumulative buckets, trimmed past the highest non-empty
+        // bucket. `le` boundaries are the buckets' exact inclusive upper
+        // bounds for integer samples (2^(i+1)-1), so aggregation across
+        // scrapes is sound.
+        int highest = -1;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          if (snap.buckets[i] != 0) highest = i;
+        }
+        int64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += snap.buckets[i];
+          out += RenderMetricName(
+                     name + "_bucket", series.labels,
+                     {{"le", std::to_string(
+                                 HistogramSnapshot::BucketUpperBound(i))}}) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += RenderMetricName(name + "_bucket", series.labels,
+                                {{"le", "+Inf"}}) +
+               " " + std::to_string(snap.count) + "\n";
         out += name + "_sum" + key + " " + std::to_string(snap.sum) + "\n";
         out += name + "_count" + key + " " + std::to_string(snap.count) +
                "\n";
@@ -363,7 +439,8 @@ std::string MetricsRegistry::ToJson() const {
                         ",\"mean\":" + FormatDouble(snap.mean) +
                         ",\"p50\":" + std::to_string(snap.p50) +
                         ",\"p90\":" + std::to_string(snap.p90) +
-                        ",\"p99\":" + std::to_string(snap.p99) + "}";
+                        ",\"p99\":" + std::to_string(snap.p99) +
+                        ",\"p999\":" + std::to_string(snap.p999) + "}";
           break;
         }
       }

@@ -30,7 +30,13 @@
 
 namespace seraph {
 
+// Bucket count shared by Histogram and HistogramSnapshot: bucket i holds
+// samples in [2^i, 2^(i+1)) (bucket 0 additionally holds 0).
+inline constexpr int kHistogramBuckets = 48;
+
 // Snapshot of a histogram's state (value semantics, safe to return).
+// `buckets` carries the raw per-bucket counts so exposition can render
+// Prometheus cumulative `_bucket` series and callers can merge snapshots.
 struct HistogramSnapshot {
   int64_t count = 0;
   int64_t sum = 0;
@@ -40,32 +46,50 @@ struct HistogramSnapshot {
   int64_t p50 = 0;
   int64_t p90 = 0;
   int64_t p99 = 0;
+  int64_t p999 = 0;
+  std::array<int64_t, kHistogramBuckets> buckets{};
+
+  // Inclusive upper bound of bucket i for integer samples (2^(i+1) - 1):
+  // every sample counted in buckets 0..i is <= this value, so it is the
+  // exact `le` boundary of the cumulative Prometheus series.
+  static int64_t BucketUpperBound(int index);
 
   std::string ToString() const;
 };
 
+// Folds `other` into `into` (bucket-wise sum; min/max widened) and
+// recomputes the derived fields, so a fleet-wide latency distribution can
+// be assembled from per-query snapshots.
+void MergeHistogramSnapshot(HistogramSnapshot* into,
+                            const HistogramSnapshot& other);
+
 // A histogram over non-negative integer samples (e.g. microseconds) with
 // power-of-two buckets: bucket i holds samples in [2^i, 2^(i+1)).
 // Percentiles are estimated by linear interpolation inside the bucket.
+//
+// Writes keep the single-writer contract (see the registry comment), but
+// every field is a relaxed atomic written with plain load+store — no
+// read-modify-write cost — so a metrics endpoint may Snapshot()
+// concurrently with the writer without a data race. A concurrent snapshot
+// may observe a sample in `count` before `sum` (or vice versa); each
+// field is individually consistent, which is all a scrape needs.
 class Histogram {
  public:
-  static constexpr int kBuckets = 48;
+  static constexpr int kBuckets = kHistogramBuckets;
 
   void Record(int64_t value);
 
-  int64_t count() const { return count_; }
-  int64_t sum() const { return sum_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   HistogramSnapshot Snapshot() const;
   void Reset();
 
  private:
-  int64_t Percentile(double p) const;
-
-  std::array<int64_t, kBuckets> buckets_{};
-  int64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 // A monotonically increasing count of events. Increments from multiple
@@ -135,8 +159,11 @@ class MetricsRegistry {
                                  const MetricLabels& labels = {}) const;
 
   // Prometheus text exposition format, families in name order, one
-  // `# TYPE` line per family. Histograms render as summaries (quantile
-  // series plus `_sum` / `_count`).
+  // `# TYPE` line per family. Histograms render natively (`histogram`
+  // type): cumulative `_bucket{le=...}` series up to the highest
+  // non-empty bucket plus `le="+Inf"`, `_sum`, and `_count` — with the
+  // historical summary-style quantile series kept alongside for human
+  // eyes and the existing tooling.
   std::string ToPrometheusText() const;
 
   // {"counters": [...], "gauges": [...], "histograms": [...]}; every

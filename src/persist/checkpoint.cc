@@ -293,6 +293,12 @@ Status CheckpointManager::Checkpoint(ContinuousEngine* engine) {
   Histogram* bytes = registry.HistogramFor("seraph_checkpoint_bytes");
   Counter* total = registry.CounterFor("seraph_checkpoint_total");
   Counter* failures = registry.CounterFor("seraph_checkpoint_failures_total");
+  // Checkpoint-age health surface: the generation on disk and when it was
+  // committed, so a scraper can alert on a stalling checkpoint cadence
+  // (age = now − last_write).
+  Gauge* last_seq_gauge = registry.GaugeFor("seraph_checkpoint_last_seq");
+  Gauge* last_write_gauge =
+      registry.GaugeFor("seraph_checkpoint_last_write_micros");
 
   const int64_t start = TraceRecorder::NowMicros();
   Status written = [&]() -> Status {
@@ -329,6 +335,8 @@ Status CheckpointManager::Checkpoint(ContinuousEngine* engine) {
   if (written.ok()) {
     ++checkpoints_written_;
     total->Increment();
+    last_seq_gauge->Set(static_cast<int64_t>(last_seq_));
+    last_write_gauge->Set(TraceRecorder::NowMicros());
   } else {
     ++checkpoint_failures_;
     failures->Increment();

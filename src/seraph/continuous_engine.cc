@@ -73,6 +73,15 @@ struct QueryMetricHandles {
   // worker via MatchParallelism — see cypher/matcher.h).
   Counter* match_partitions = nullptr;
   Histogram* match_seeds = nullptr;
+  // Emit-latency accounting (docs/INTERNALS.md, "Latency accounting &
+  // lag"): ingest→emit latency of each covered element, plus the
+  // per-stage breakdown. Written only by the coordinator in
+  // FinishDelivery (single-writer histogram contract).
+  Histogram* emit_latency = nullptr;
+  Histogram* lat_queue = nullptr;    // arrival → evaluation start.
+  Histogram* lat_window = nullptr;   // Window + snapshot maintenance.
+  Histogram* lat_match = nullptr;    // Clause evaluation + report policy.
+  Histogram* lat_deliver = nullptr;  // Sink delivery.
 };
 
 struct ContinuousEngine::QueryState {
@@ -110,6 +119,11 @@ struct ContinuousEngine::QueryState {
   QueryStats stats;
   Histogram eval_latency_micros;
   QueryMetricHandles metrics;
+  // Emit-latency cursors, one per distinct stream among the query's
+  // windows: the index of the first element whose latency has not been
+  // charged yet. Advanced only by the coordinator (FinishDelivery) over
+  // elements with timestamp <= the delivered instant.
+  std::map<std::string, size_t> latency_cursors;
   // Intra-query parallel matching spec handed to the executor. `pool` is
   // set by the scheduler per batch (non-null only when the batch leaves
   // spare workers) and read by this query's single evaluating worker.
@@ -167,6 +181,15 @@ QueryMetricHandles MakeQueryMetrics(MetricsRegistry* registry,
       registry->CounterFor("seraph_match_partitions_total", q);
   m.match_seeds =
       registry->HistogramFor("seraph_match_seed_candidates", q);
+  m.emit_latency = registry->HistogramFor("seraph_emit_latency_micros", q);
+  auto lat_stage = [&](const char* name) {
+    return registry->HistogramFor("seraph_emit_stage_micros",
+                                  {{"query", query}, {"stage", name}});
+  };
+  m.lat_queue = lat_stage("queue");
+  m.lat_window = lat_stage("window");
+  m.lat_match = lat_stage("match");
+  m.lat_deliver = lat_stage("deliver");
   return m;
 }
 
@@ -202,6 +225,47 @@ ContinuousEngine::ContinuousEngine(EngineOptions options)
   batch_size_ = metrics_.HistogramFor("seraph_engine_eval_batch_size");
   parallel_evals_ =
       metrics_.CounterFor("seraph_engine_parallel_evals_total");
+  fleet_emit_latency_ =
+      metrics_.HistogramFor("seraph_engine_emit_latency_micros");
+  engine_clock_millis_ = metrics_.GaugeFor("seraph_engine_clock_millis");
+}
+
+const Clock* ContinuousEngine::LatencyClock() const {
+  return options_.clock != nullptr ? options_.clock : Clock::Steady();
+}
+
+ContinuousEngine::StreamObs* ContinuousEngine::ObsFor(
+    const std::string& stream) {
+  auto it = stream_obs_.find(stream);
+  if (it == stream_obs_.end()) {
+    const std::string label = stream.empty() ? "<default>" : stream;
+    const MetricLabels labels{{"stream", label}};
+    StreamObs obs;
+    obs.ingested =
+        metrics_.CounterFor("seraph_stream_elements_ingested_total", labels);
+    obs.watermark_millis =
+        metrics_.GaugeFor("seraph_stream_watermark_millis", labels);
+    obs.lag_millis = metrics_.GaugeFor("seraph_stream_lag_millis", labels);
+    obs.lag_max_millis =
+        metrics_.GaugeFor("seraph_stream_lag_max_millis", labels);
+    it = stream_obs_.emplace(stream, obs).first;
+  }
+  return &it->second;
+}
+
+void ContinuousEngine::UpdateLagGauges() {
+  const int64_t clock_ms = clock_started_ ? clock_.millis() : 0;
+  engine_clock_millis_->Set(clock_ms);
+  for (auto& [name, obs] : stream_obs_) {
+    if (!obs.any_ingested) continue;
+    int64_t lag = obs.watermark_value - clock_ms;
+    if (lag < 0) lag = 0;
+    obs.lag_millis->Set(lag);
+    if (lag > obs.lag_max_value) {
+      obs.lag_max_value = lag;
+      obs.lag_max_millis->Set(lag);
+    }
+  }
 }
 
 ContinuousEngine::~ContinuousEngine() = default;
@@ -375,6 +439,12 @@ Status ContinuousEngine::Register(RegisteredQuery query) {
   }
   state->query = std::move(query);
   state->metrics = MakeQueryMetrics(&metrics_, state->query.name);
+  // Emit-latency cursors start at the streams' current sizes: elements
+  // ingested before the query existed are not part of its latency SLO.
+  for (const auto& [key, ws] : state->windows) {
+    state->latency_cursors.emplace(ws.stream,
+                                   FindStreamOrEmpty(ws.stream)->size());
+  }
   // Static parts of the intra-query parallelism spec; the scheduler fills
   // in `pool` per batch when it grants parallel matching.
   state->match_par.min_seeds =
@@ -451,24 +521,45 @@ Status ContinuousEngine::IngestTo(const std::string& stream,
 Status ContinuousEngine::IngestTo(
     const std::string& stream, std::shared_ptr<const PropertyGraph> graph,
     Timestamp timestamp) {
+  return IngestTo(stream, std::move(graph), timestamp, 0);
+}
+
+Status ContinuousEngine::IngestTo(
+    const std::string& stream, std::shared_ptr<const PropertyGraph> graph,
+    Timestamp timestamp, int64_t arrival_micros) {
   if (clock_started_ && timestamp < clock_) {
     return Status::OutOfRange(
         "cannot ingest an element older than the engine clock (" +
         timestamp.ToString() + " < " + clock_.ToString() + ")");
   }
-  Status appended = MutableStream(stream)->Append(std::move(graph), timestamp);
+  // Elements that arrive unstamped (direct Ingest, no queue in front) get
+  // their t0 here, so emit latency degrades gracefully to ingest→emit.
+  // With stamping off, no clock is read and FinishDelivery records
+  // nothing — the overhead ablation arm.
+  if (options_.latency_stamping && arrival_micros == 0) {
+    arrival_micros = LatencyClock()->NowMicros();
+  }
+  Status appended =
+      MutableStream(stream)->Append(std::move(graph), timestamp,
+                                    arrival_micros);
   if (appended.ok()) {
-    auto it = ingest_counters_.find(stream);
-    if (it == ingest_counters_.end()) {
-      it = ingest_counters_
-               .emplace(stream,
-                        metrics_.CounterFor(
-                            "seraph_stream_elements_ingested_total",
-                            {{"stream", stream.empty() ? "<default>"
-                                                       : stream}}))
-               .first;
+    StreamObs* obs = ObsFor(stream);
+    obs->ingested->Increment();
+    const int64_t ts_ms = timestamp.millis();
+    if (!obs->any_ingested || ts_ms > obs->watermark_value) {
+      obs->any_ingested = true;
+      obs->watermark_value = ts_ms;
+      obs->watermark_millis->Set(ts_ms);
+      // The watermark moved ahead of the engine clock: refresh this
+      // stream's lag (event-time millis, so deterministic).
+      int64_t lag = ts_ms - (clock_started_ ? clock_.millis() : 0);
+      if (lag < 0) lag = 0;
+      obs->lag_millis->Set(lag);
+      if (lag > obs->lag_max_value) {
+        obs->lag_max_value = lag;
+        obs->lag_max_millis->Set(lag);
+      }
     }
-    it->second->Increment();
     if (options_.tracer != nullptr && options_.tracer->enabled()) {
       options_.tracer->AddInstant(
           "ingest", "stream", TraceRecorder::NowMicros(),
@@ -625,6 +716,8 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
     // already passed) must not move it backwards.
     if (!clock_started_ || t > clock_) clock_ = t;
     clock_started_ = true;
+    // The clock moved: the per-stream lag (watermark − clock) shrank.
+    UpdateLagGauges();
     ++batches_completed_;
     if (checkpoint_callback_ && options_.checkpoint_every > 0 &&
         batches_completed_ % options_.checkpoint_every == 0) {
@@ -639,6 +732,7 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
   }
   clock_ = now;
   clock_started_ = true;
+  UpdateLagGauges();
   return Status::OK();
 }
 
@@ -712,6 +806,12 @@ Status ContinuousEngine::RestoreFrom(const EngineCheckpoint& checkpoint) {
     // Window state stays fresh: the next evaluation re-derives every
     // window from the restored stream (has_last_range is false, so the
     // unchanged-window reuse fast path cannot fire on stale bounds).
+    // Latency cursors jump past the restored prefix: those elements'
+    // emits happened in the first life (and their arrival stamps are not
+    // persisted anyway — latency is a processing-time concern).
+    for (auto& [stream_name, cursor] : state->latency_cursors) {
+      cursor = FindStreamOrEmpty(stream_name)->size();
+    }
   }
   clock_ = checkpoint.clock;
   clock_started_ = checkpoint.clock_started;
@@ -786,6 +886,12 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
           ? options_.tracer
           : nullptr;
   const int64_t eval_start = TraceRecorder::NowMicros();
+  // Queue-wait's right endpoint, on the *latency* clock (which tests may
+  // pin to a ManualClock on a different timebase than the trace clock —
+  // both ends of a latency interval must come from the same clock).
+  if (options_.latency_stamping) {
+    out->latency_eval_start_micros = LatencyClock()->NowMicros();
+  }
   ++state->stats.evaluations;
   state->metrics.evaluations->Increment();
 
@@ -987,6 +1093,10 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
   out->annotated = TimeAnnotatedTable{std::move(reported), *widest_window};
   out->eval_start_micros = eval_start;
   out->eval_end_micros = policy_end;
+  // Emit-latency stage durations (durations are timebase-independent, so
+  // the trace clock's readings above serve directly).
+  out->stage_window_micros = window_micros + snapshot_micros;
+  out->stage_match_micros = match_micros + policy_micros;
   return Status::OK();
 }
 
@@ -1026,6 +1136,42 @@ void ContinuousEngine::FinishDelivery(QueryState* state, Timestamp t,
   }
   state->eval_latency_micros.Record(total_micros);
   state->metrics.eval_total->Record(total_micros);
+  if (options_.latency_stamping) {
+    RecordEmitLatency(state, t, out, sink_micros);
+  }
+}
+
+void ContinuousEngine::RecordEmitLatency(QueryState* state, Timestamp t,
+                                         const PendingDelivery& out,
+                                         int64_t sink_micros) {
+  // Coordinator-only (single-writer histogram contract). Every element
+  // with timestamp <= t is now covered by this query's delivered result;
+  // charge arrival→now once per element, per query. Elements covered by
+  // instants whose evaluation *failed* were not advanced past (failures
+  // skip FinishDelivery), so their latency lands on the next successful
+  // emit — truthfully including the failed attempts' delay.
+  const int64_t now = LatencyClock()->NowMicros();
+  for (auto& [stream_name, cursor] : state->latency_cursors) {
+    const std::vector<StreamElement>& elements =
+        FindStreamOrEmpty(stream_name)->elements();
+    while (cursor < elements.size() && elements[cursor].timestamp <= t) {
+      const StreamElement& element = elements[cursor];
+      ++cursor;
+      if (element.arrival_micros <= 0) continue;  // Unstamped (restored).
+      int64_t latency = now - element.arrival_micros;
+      if (latency < 0) latency = 0;
+      state->metrics.emit_latency->Record(latency);
+      fleet_emit_latency_->Record(latency);
+      int64_t queue_wait =
+          out.latency_eval_start_micros - element.arrival_micros;
+      if (queue_wait < 0) queue_wait = 0;
+      state->metrics.lat_queue->Record(queue_wait);
+    }
+  }
+  // The evaluation-side stages are per-emit, not per-element.
+  state->metrics.lat_window->Record(out.stage_window_micros);
+  state->metrics.lat_match->Record(out.stage_match_micros);
+  state->metrics.lat_deliver->Record(sink_micros);
 }
 
 void ContinuousEngine::HandleEvalFailure(QueryState* state, Timestamp t,

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -128,6 +129,17 @@ struct EngineOptions {
   // keeps running — the query-side mirror of sink quarantine). 0 never
   // disables. ReviveQuery lifts it.
   int query_error_budget = 5;
+  // Emit-latency accounting (docs/INTERNALS.md, "Latency accounting &
+  // lag"): when true, elements arriving unstamped are stamped with the
+  // clock at ingestion, and sink delivery records each covered element's
+  // ingest→emit latency into `seraph_emit_latency_micros{query=...}` plus
+  // the per-stage breakdown. Off = no clock reads, no samples (the
+  // overhead ablation arm of bench_emit_latency).
+  bool latency_stamping = true;
+  // The clock behind arrival stamps and delivery reads. nullptr (default)
+  // = Clock::Steady(); tests inject a ManualClock for deterministic
+  // latency histograms.
+  const Clock* clock = nullptr;
   // Durability cadence (docs/INTERNALS.md, "Durability & recovery"): when
   // > 0 and a checkpoint callback is installed (SetCheckpointCallback —
   // persist::CheckpointManager::AttachTo does both), the callback fires
@@ -317,6 +329,14 @@ class ContinuousEngine {
                   Timestamp timestamp);
   Status IngestTo(const std::string& stream, PropertyGraph graph,
                   Timestamp timestamp);
+  // Same, with an upstream arrival stamp (microseconds on the engine
+  // clock's timebase) carried from the transport — StreamDriver passes the
+  // EventQueue's Produce stamp through here so emit latency covers queue
+  // wait. 0 means unstamped; with latency_stamping on, unstamped elements
+  // are stamped now (latency then measures ingest→emit only).
+  Status IngestTo(const std::string& stream,
+                  std::shared_ptr<const PropertyGraph> graph,
+                  Timestamp timestamp, int64_t arrival_micros);
 
   // ---- Evaluation driver ----
 
@@ -399,6 +419,31 @@ class ContinuousEngine {
     TimeAnnotatedTable annotated;
     int64_t eval_start_micros = 0;  // Start of the evaluation stages.
     int64_t eval_end_micros = 0;    // End of the policy stage.
+    // Emit-latency stage breakdown, filled by EvaluateAt when
+    // latency_stamping is on. latency_eval_start_micros is read from the
+    // *latency* clock (options_.clock), which in tests is a ManualClock on
+    // a different timebase than the trace clock above — queue wait is
+    // (latency_eval_start − arrival), so both ends must come from the
+    // same clock.
+    int64_t latency_eval_start_micros = 0;
+    int64_t stage_window_micros = 0;  // Window + snapshot maintenance.
+    int64_t stage_match_micros = 0;   // Clause evaluation + report policy.
+  };
+
+  // Per-stream observability handles, cached so the Ingest hot path does
+  // one map lookup, not four registry lookups. The lag gauges implement
+  // the watermark/lag health surface (docs/INTERNALS.md, "Latency
+  // accounting & lag"): all in event-time millis, hence deterministic.
+  struct StreamObs {
+    Counter* ingested = nullptr;        // Elements appended.
+    Gauge* watermark_millis = nullptr;  // Max ingested event timestamp.
+    Gauge* lag_millis = nullptr;        // watermark − engine clock, >= 0.
+    Gauge* lag_max_millis = nullptr;    // Running max of lag_millis.
+    // Shadow values (single-writer: the ingest/coordinator thread), so
+    // updates need no gauge read-back.
+    int64_t watermark_value = 0;
+    int64_t lag_max_value = 0;
+    bool any_ingested = false;
   };
 
   PropertyGraphStream* MutableStream(const std::string& name);
@@ -426,12 +471,26 @@ class ContinuousEngine {
   // dead-letter / quarantine handling; never fails the evaluation.
   void DeliverToSinks(const std::string& query_name, Timestamp t,
                       const TimeAnnotatedTable& annotated);
+  // Coordinator-side emit-latency accounting for one delivered
+  // evaluation: advances the query's per-stream latency cursors over the
+  // elements newly covered at `t` and records arrival→now into the
+  // query's and the fleet's emit-latency histograms, plus the per-stage
+  // breakdown carried in `out`.
+  void RecordEmitLatency(QueryState* state, Timestamp t,
+                         const PendingDelivery& out, int64_t sink_micros);
+  // Resolves (and caches) the observability handles of `stream`.
+  StreamObs* ObsFor(const std::string& stream);
+  // Refreshes every stream's lag gauge against the engine clock (called
+  // at the batch barrier and at the end of AdvanceTo, where clock_ moved).
+  void UpdateLagGauges();
+  // The latency clock (options_.clock, defaulted to Clock::Steady()).
+  const Clock* LatencyClock() const;
 
   EngineOptions options_;
   MetricsRegistry metrics_;
-  // Per-stream ingestion counters, cached so the Ingest hot path avoids a
-  // registry lookup per element.
-  std::map<std::string, Counter*> ingest_counters_;
+  // Per-stream observability handles, cached so the Ingest hot path
+  // avoids registry lookups per element.
+  std::map<std::string, StreamObs> stream_obs_;
   std::map<std::string, PropertyGraphStream> streams_;
   std::shared_ptr<const PropertyGraph> static_graph_;
   std::map<std::string, std::unique_ptr<QueryState>> queries_;
@@ -449,6 +508,12 @@ class ContinuousEngine {
   // Scheduler metrics, resolved once.
   Histogram* batch_size_ = nullptr;
   Counter* parallel_evals_ = nullptr;
+  // Emit-latency fleet metrics (docs/INTERNALS.md, "Latency accounting &
+  // lag"), resolved at construction: the all-queries latency histogram
+  // and the engine event-time clock gauge the per-stream lag is measured
+  // against.
+  Histogram* fleet_emit_latency_ = nullptr;
+  Gauge* engine_clock_millis_ = nullptr;
 };
 
 // The value of the SERAPH_EVAL_THREADS environment variable (a

@@ -19,6 +19,7 @@ void DeadLetterQueue::AddSinkResult(const std::string& sink,
   entry.result = result;
   entries_.push_back(std::move(entry));
   ++sink_results_;
+  UpdateDepth();
 }
 
 void DeadLetterQueue::AddElement(const std::string& consumer,
@@ -33,6 +34,7 @@ void DeadLetterQueue::AddElement(const std::string& consumer,
   entry.element = element.graph;
   entries_.push_back(std::move(entry));
   ++elements_;
+  UpdateDepth();
 }
 
 void DeadLetterQueue::AddEvaluationFailure(const std::string& query,
@@ -47,6 +49,7 @@ void DeadLetterQueue::AddEvaluationFailure(const std::string& query,
   entry.attempts = 1;
   entries_.push_back(std::move(entry));
   ++evaluation_failures_;
+  UpdateDepth();
 }
 
 void DeadLetterQueue::Add(DeadLetterEntry entry) {
@@ -62,6 +65,7 @@ void DeadLetterQueue::Add(DeadLetterEntry entry) {
       break;
   }
   entries_.push_back(std::move(entry));
+  UpdateDepth();
 }
 
 void DeadLetterQueue::Clear() {
@@ -69,6 +73,7 @@ void DeadLetterQueue::Clear() {
   sink_results_ = 0;
   elements_ = 0;
   evaluation_failures_ = 0;
+  UpdateDepth();
 }
 
 Status DeadLetterQueue::WriteJsonLines(std::ostream* os) const {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "stream/graph_stream.h"
 #include "table/time_table.h"
@@ -82,6 +83,16 @@ class DeadLetterQueue {
   int64_t elements() const { return elements_; }
   int64_t evaluation_failures() const { return evaluation_failures_; }
 
+  // Mirrors size() into a registry gauge (`seraph_dead_letter_depth`) on
+  // every mutation, so live scrapers see the depth without touching the
+  // (non-thread-safe) queue itself. Not owned; null detaches.
+  void BindDepthGauge(Gauge* gauge) {
+    depth_gauge_ = gauge;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(entries_.size()));
+    }
+  }
+
   void Clear();
 
   // One JSON object per entry (the format documented in
@@ -100,10 +111,18 @@ class DeadLetterQueue {
   Status ImportJsonLines(std::istream* is);
 
  private:
+  // Pushes the current size into the bound gauge (no-op when unbound).
+  void UpdateDepth() {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<int64_t>(entries_.size()));
+    }
+  }
+
   std::vector<DeadLetterEntry> entries_;
   int64_t sink_results_ = 0;
   int64_t elements_ = 0;
   int64_t evaluation_failures_ = 0;
+  Gauge* depth_gauge_ = nullptr;
 };
 
 }  // namespace seraph

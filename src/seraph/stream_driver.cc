@@ -16,12 +16,32 @@ void StreamDriver::EnsureMetrics() {
   reseeks_counter_ = registry.CounterFor("seraph_driver_reseeks_total", labels);
   backoff_counter_ =
       registry.CounterFor("seraph_driver_backoff_millis_total", labels);
+  backlog_gauge_ = registry.GaugeFor("seraph_driver_backlog", labels);
+  reorder_pending_gauge_ =
+      registry.GaugeFor("seraph_driver_reorder_pending", labels);
+}
+
+void StreamDriver::UpdateBacklogGauges() {
+  // Backlog = events appended to the queue but not yet committed past by
+  // this consumer, plus releases parked for retry. Both are health
+  // signals for the /metrics endpoint: a growing backlog means the
+  // consumer is not keeping up with producers.
+  const size_t offset = queue_->OffsetOf(options_.consumer).value_or(0);
+  const size_t total = queue_->size();
+  backlog_gauge_->Set(static_cast<int64_t>(total > offset ? total - offset
+                                                          : 0) +
+                      static_cast<int64_t>(pending_.size()));
+  reorder_pending_gauge_->Set(
+      reorder_.has_value() ? static_cast<int64_t>(reorder_->pending()) : 0);
 }
 
 Status StreamDriver::Deliver(const StreamElement& element) {
   SERAPH_FAULT_POINT("driver.deliver");
+  // The arrival stamp rides through from EventQueue::Produce so emit
+  // latency covers the element's full queue wait, not just engine time.
   SERAPH_RETURN_IF_ERROR(engine_->IngestTo(options_.target_stream,
-                                           element.graph, element.timestamp));
+                                           element.graph, element.timestamp,
+                                           element.arrival_micros));
   if (!delivered_any_ || element.timestamp > delivered_horizon_) {
     delivered_horizon_ = element.timestamp;
     delivered_any_ = true;
@@ -105,7 +125,7 @@ Result<int64_t> StreamDriver::PumpAll() {
         // element is either held, or counted as a late drop. Releases
         // are parked in pending_ so a failed delivery cannot lose them
         // (they are no longer re-pollable from the queue).
-        reorder_->Offer(element.graph, element.timestamp);
+        reorder_->Offer(element);
         ++consumed;
         for (StreamElement& released : reorder_->Release()) {
           pending_.push_back(std::move(released));
@@ -146,6 +166,7 @@ Result<int64_t> StreamDriver::PumpAll() {
     // but must still surface so the caller re-pumps the pending work.
     if (!error.ok()) return error;
   }
+  UpdateBacklogGauges();
   if (delivered_any_) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
   }
@@ -161,6 +182,7 @@ Status StreamDriver::Finish() {
   }
   int64_t delivered = 0;
   SERAPH_RETURN_IF_ERROR(DrainPending(&delivered));
+  UpdateBacklogGauges();
   if (delivered_any_) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
   }

@@ -118,6 +118,9 @@ class StreamDriver {
   Status DrainPending(int64_t* delivered);
   // Registers driver metrics with the engine's registry (idempotent).
   void EnsureMetrics();
+  // Refreshes the backlog / reorder-occupancy health gauges (end of each
+  // pump and finish).
+  void UpdateBacklogGauges();
 
   EventQueue* queue_;
   ContinuousEngine* engine_;
@@ -141,6 +144,11 @@ class StreamDriver {
   Counter* dead_letter_counter_ = nullptr;
   Counter* reseeks_counter_ = nullptr;
   Counter* backoff_counter_ = nullptr;
+  // Health gauges (docs/INTERNALS.md, "Latency accounting & lag"):
+  // undelivered queue depth (incl. parked releases) and reorder-buffer
+  // occupancy.
+  Gauge* backlog_gauge_ = nullptr;
+  Gauge* reorder_pending_gauge_ = nullptr;
 };
 
 }  // namespace seraph

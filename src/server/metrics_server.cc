@@ -1,0 +1,243 @@
+#include "server/metrics_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "seraph/continuous_engine.h"
+
+namespace seraph {
+
+namespace {
+
+// Request-line parsing: "GET /path HTTP/1.1". Anything else 404s/400s.
+std::string RequestPath(const std::string& request) {
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return "";
+  if (request.substr(0, method_end) != "GET") return "";
+  const size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return "";
+  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+  // Strip a query string; the endpoints take no parameters.
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Client went away; nothing to salvage.
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status MetricsServer::Start() {
+  if (running_.load(std::memory_order_relaxed)) return Status::OK();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("metrics server: socket: ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("metrics server: bind 127.0.0.1:" +
+                               std::to_string(options_.port) + ": " + error);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("metrics server: listen: ") +
+                               error);
+  }
+  // Resolve the bound port (meaningful with port 0 = ephemeral).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // The accept loop polls with a timeout, so flipping running_ is enough;
+  // shutting the listener down just makes it exit immediately.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::Serve() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // Timeout: re-check running_.
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;  // Racing a Stop(), or a transient error.
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::HandleConnection(int client) {
+  // One short request; 4 KiB covers any GET line + headers we care about.
+  std::string request;
+  char buf[4096];
+  // Read until the header terminator (or the client stops sending). A
+  // scraper sends the whole request in one segment in practice; the loop
+  // is just protocol hygiene.
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < sizeof(buf)) {
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string path = RequestPath(request);
+  if (path == "/metrics") {
+    const std::string body = options_.registry != nullptr
+                                 ? options_.registry->ToPrometheusText()
+                                 : std::string();
+    WriteAll(client,
+             HttpResponse(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8", body));
+  } else if (path == "/healthz") {
+    WriteAll(client, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else if (path == "/queries") {
+    const std::string body =
+        options_.queries_json ? options_.queries_json() : std::string("[]");
+    WriteAll(client, HttpResponse(200, "OK", "application/json", body));
+  } else if (path.empty()) {
+    WriteAll(client,
+             HttpResponse(400, "Bad Request", "text/plain", "bad request\n"));
+  } else {
+    WriteAll(client, HttpResponse(
+                         404, "Not Found", "text/plain",
+                         "not found; try /metrics, /healthz, /queries\n"));
+  }
+}
+
+std::string QueriesStatusJson(const ContinuousEngine& engine) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& name : engine.QueryNames()) {
+    auto stats = engine.StatsFor(name);
+    if (!stats.ok()) continue;  // Unregistered between calls.
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(name) + "\"";
+    out += ",\"disabled\":";
+    out += engine.QueryDisabled(name) ? "true" : "false";
+    out += ",\"evaluations\":" + std::to_string(stats->evaluations);
+    out += ",\"rows_emitted\":" + std::to_string(stats->rows_emitted);
+    out += ",\"eval_failures\":" + std::to_string(stats->eval_failures);
+    out += ",\"reused_results\":" + std::to_string(stats->reused_results);
+    if (!stats->last_error.ok()) {
+      out += ",\"last_error\":\"" + EscapeJson(stats->last_error.ToString()) +
+             "\"";
+    }
+    auto latency = engine.LatencyFor(name);
+    if (latency.ok()) {
+      out += ",\"eval_latency_micros\":{\"count\":" +
+             std::to_string(latency->count) +
+             ",\"p50\":" + std::to_string(latency->p50) +
+             ",\"p99\":" + std::to_string(latency->p99) +
+             ",\"p999\":" + std::to_string(latency->p999) + "}";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace seraph

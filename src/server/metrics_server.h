@@ -1,0 +1,90 @@
+// A minimal plain-HTTP observability endpoint (no third-party deps —
+// POSIX sockets only), serving the health surface documented in
+// docs/INTERNALS.md, "Latency accounting & lag":
+//
+//   GET /metrics  → Prometheus text exposition of a MetricsRegistry
+//   GET /healthz  → "ok" (liveness)
+//   GET /queries  → JSON array of per-query status (caller-provided)
+//
+// The server owns one background thread: a poll()-based accept loop that
+// serves each connection to completion before accepting the next. That is
+// deliberate — a scrape endpoint sees one client (the collector) at a
+// time, and a single-threaded loop keeps the server trivially correct.
+// Thread safety of the handlers is the caller's contract: /metrics reads
+// the registry (whose instruments are atomic, so scraping a live engine
+// is race-free), and the /queries callback must itself be safe to call
+// from the server thread (seraph_run publishes a snapshot under a mutex).
+#ifndef SERAPH_SERVER_METRICS_SERVER_H_
+#define SERAPH_SERVER_METRICS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace seraph {
+
+class ContinuousEngine;
+
+class MetricsServer {
+ public:
+  struct Options {
+    // Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests), read
+    // back via port() after Start.
+    int port = 0;
+    // Source of /metrics. Not owned; must outlive the server.
+    const MetricsRegistry* registry = nullptr;
+    // Source of /queries (a JSON document, typically
+    // QueriesStatusJson(...)). May be empty; then /queries serves "[]".
+    // Called on the server thread — must be thread-safe.
+    std::function<std::string()> queries_json;
+  };
+
+  explicit MetricsServer(Options options) : options_(std::move(options)) {}
+  ~MetricsServer() { Stop(); }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Fails (kUnavailable) when
+  // the port cannot be bound.
+  Status Start();
+
+  // Shuts the listener down and joins the loop; idempotent.
+  void Stop();
+
+  // The bound port (resolved after Start; 0 before).
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Total requests served (introspection for tests).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();                       // The accept loop (server thread).
+  void HandleConnection(int client);  // One request → one response.
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+};
+
+// The /queries payload: a JSON array with one object per registered
+// query — name, disabled flag, QueryStats counters, and the emit-latency
+// summary (count/p50/p99/p999 micros). Reads engine state without
+// synchronization, so call it only from the engine's own thread at a
+// quiescent point and publish the returned string to the server's
+// queries_json callback (see tools/seraph_run.cc).
+std::string QueriesStatusJson(const ContinuousEngine& engine);
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERVER_METRICS_SERVER_H_

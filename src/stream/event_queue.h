@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "stream/graph_stream.h"
 
@@ -29,13 +30,21 @@ class EventQueue {
   virtual ~EventQueue() = default;
 
   // Appends an event; timestamps must be non-decreasing (the queue is the
-  // stream order authority).
+  // stream order authority). Each event is stamped with its
+  // processing-time arrival (the emit-latency layer's t0 — see
+  // docs/INTERNALS.md, "Latency accounting & lag").
   Status Produce(PropertyGraph graph, Timestamp timestamp) {
-    return log_.Append(std::move(graph), timestamp);
+    return log_.Append(std::move(graph), timestamp, clock_->NowMicros());
   }
   Status Produce(std::shared_ptr<const PropertyGraph> graph,
                  Timestamp timestamp) {
-    return log_.Append(std::move(graph), timestamp);
+    return log_.Append(std::move(graph), timestamp, clock_->NowMicros());
+  }
+
+  // Substitutes the arrival-stamp clock (tests inject a ManualClock for
+  // deterministic latency histograms). Not owned; must outlive the queue.
+  void SetClock(const Clock* clock) {
+    clock_ = clock != nullptr ? clock : Clock::Steady();
   }
 
   // Creates (or resets) a consumer at offset 0.
@@ -67,6 +76,7 @@ class EventQueue {
  private:
   PropertyGraphStream log_;
   std::map<std::string, size_t> offsets_;
+  const Clock* clock_ = Clock::Steady();
 };
 
 }  // namespace seraph

@@ -4,20 +4,23 @@
 
 namespace seraph {
 
-Status PropertyGraphStream::Append(PropertyGraph graph, Timestamp timestamp) {
+Status PropertyGraphStream::Append(PropertyGraph graph, Timestamp timestamp,
+                                   int64_t arrival_micros) {
   return Append(std::make_shared<const PropertyGraph>(std::move(graph)),
-                timestamp);
+                timestamp, arrival_micros);
 }
 
 Status PropertyGraphStream::Append(std::shared_ptr<const PropertyGraph> graph,
-                                   Timestamp timestamp) {
+                                   Timestamp timestamp,
+                                   int64_t arrival_micros) {
   if (!elements_.empty() && timestamp < elements_.back().timestamp) {
     return Status::OutOfRange(
         "stream timestamps must be non-decreasing: got " +
         timestamp.ToString() + " after " +
         elements_.back().timestamp.ToString());
   }
-  elements_.push_back(StreamElement{std::move(graph), timestamp});
+  elements_.push_back(StreamElement{std::move(graph), timestamp,
+                                    arrival_micros});
   return Status::OK();
 }
 

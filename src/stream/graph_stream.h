@@ -18,6 +18,14 @@ namespace seraph {
 struct StreamElement {
   std::shared_ptr<const PropertyGraph> graph;
   Timestamp timestamp;
+  // Processing-time arrival stamp (Clock::Steady() microseconds; see
+  // common/clock.h), set at EventQueue::Produce or engine ingestion and
+  // carried to sink delivery, where `delivery - arrival` is the element's
+  // ingest→emit latency (docs/INTERNALS.md, "Latency accounting & lag").
+  // 0 = unstamped (latency accounting skips the element). Deliberately
+  // not persisted: a recovered element's first life already reported its
+  // latency.
+  int64_t arrival_micros = 0;
 };
 
 // An in-memory property graph stream: the prefix observed so far of the
@@ -28,10 +36,12 @@ class PropertyGraphStream {
   PropertyGraphStream() = default;
 
   // Appends (graph, ω). Fails with kOutOfRange if ω precedes the last
-  // appended timestamp.
-  Status Append(PropertyGraph graph, Timestamp timestamp);
+  // appended timestamp. `arrival_micros` carries the element's
+  // processing-time arrival stamp (0 = unstamped).
+  Status Append(PropertyGraph graph, Timestamp timestamp,
+                int64_t arrival_micros = 0);
   Status Append(std::shared_ptr<const PropertyGraph> graph,
-                Timestamp timestamp);
+                Timestamp timestamp, int64_t arrival_micros = 0);
 
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }

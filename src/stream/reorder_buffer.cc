@@ -4,15 +4,20 @@ namespace seraph {
 
 bool ReorderBuffer::Offer(std::shared_ptr<const PropertyGraph> graph,
                           Timestamp timestamp) {
-  if (any_seen_ && timestamp < watermark()) {
+  return Offer(StreamElement{std::move(graph), timestamp, 0});
+}
+
+bool ReorderBuffer::Offer(StreamElement element) {
+  if (any_seen_ && element.timestamp < watermark()) {
     ++dropped_;
     return false;
   }
-  if (!any_seen_ || timestamp > max_seen_) {
-    max_seen_ = timestamp;
+  if (!any_seen_ || element.timestamp > max_seen_) {
+    max_seen_ = element.timestamp;
     any_seen_ = true;
   }
-  held_.emplace(timestamp, std::move(graph));
+  Timestamp timestamp = element.timestamp;
+  held_.emplace(timestamp, std::move(element));
   return true;
 }
 
@@ -26,7 +31,7 @@ std::vector<StreamElement> ReorderBuffer::Release() {
   Timestamp mark = watermark();
   auto it = held_.begin();
   while (it != held_.end() && it->first <= mark) {
-    out.push_back(StreamElement{std::move(it->second), it->first});
+    out.push_back(std::move(it->second));
     it = held_.erase(it);
   }
   return out;
@@ -34,8 +39,8 @@ std::vector<StreamElement> ReorderBuffer::Release() {
 
 std::vector<StreamElement> ReorderBuffer::Flush() {
   std::vector<StreamElement> out;
-  for (auto& [ts, graph] : held_) {
-    out.push_back(StreamElement{std::move(graph), ts});
+  for (auto& [ts, element] : held_) {
+    out.push_back(std::move(element));
   }
   held_.clear();
   return out;

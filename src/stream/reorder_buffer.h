@@ -27,6 +27,9 @@ class ReorderBuffer {
   // Offers an element. Returns false (and counts a drop) when the element
   // is already older than the watermark.
   bool Offer(std::shared_ptr<const PropertyGraph> graph, Timestamp timestamp);
+  // Same, preserving the element's arrival stamp through the buffer (so
+  // reordering delay is charged to the element's emit latency).
+  bool Offer(StreamElement element);
 
   // The current watermark: max seen timestamp − allowed lateness (epoch
   // before any element was offered).
@@ -44,7 +47,7 @@ class ReorderBuffer {
 
  private:
   Duration allowed_lateness_;
-  std::multimap<Timestamp, std::shared_ptr<const PropertyGraph>> held_;
+  std::multimap<Timestamp, StreamElement> held_;
   Timestamp max_seen_;
   bool any_seen_ = false;
   int64_t dropped_ = 0;

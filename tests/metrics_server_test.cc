@@ -1,0 +1,196 @@
+// The HTTP observability endpoint (src/server/metrics_server.h): a live
+// engine scraped over a real loopback socket — /metrics carries the
+// emit-latency buckets and lag gauges, /healthz answers, /queries
+// reflects engine state (including a budget-disabled query), and unknown
+// paths 404.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+#include "server/metrics_server.h"
+
+namespace seraph {
+namespace {
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+PropertyGraph Item(int64_t id) {
+  return GraphBuilder()
+      .Node(id, {"X"}, {{"id", Value::Int(id)}})
+      .Build();
+}
+
+// A blocking HTTP/1.0-style GET against 127.0.0.1:<port>: send one
+// request, read until the server closes (it serves one response per
+// connection). Returns the raw response (status line + headers + body).
+std::string HttpGet(int port, const std::string& path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+// /metrics serves the live registry (emit-latency buckets, lag gauges),
+// /healthz is a liveness probe, and unknown paths 404 — all over a real
+// socket against an ephemeral port.
+TEST(MetricsServerTest, MetricsAndHealthOverLoopback) {
+  ContinuousEngine engine;
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine
+                  .RegisterText(
+                      "REGISTER QUERY q STARTING AT '1970-01-01T00:05' "
+                      "{ MATCH (n:X) WITHIN PT10M EMIT n.id EVERY PT5M }")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1), T(6)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+
+  MetricsServer::Options options;
+  options.port = 0;  // Ephemeral.
+  options.registry = &engine.metrics();
+  MetricsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  ASSERT_TRUE(server.running());
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  // The emit-latency histogram made it through with native buckets...
+  EXPECT_NE(metrics.find("# TYPE seraph_emit_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("seraph_emit_latency_micros_bucket{query=\"q\",le="),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.find("seraph_emit_latency_micros_bucket{query=\"q\",le=\"+Inf\"} 1"),
+      std::string::npos);
+  // ...alongside the event-time lag surface.
+  EXPECT_NE(metrics.find("seraph_stream_watermark_millis{stream=\"<default>\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("seraph_stream_lag_millis{stream=\"<default>\"}"),
+            std::string::npos);
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // A query string is stripped before routing (Prometheus scrapes may
+  // append one).
+  const std::string with_query = HttpGet(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(with_query.find("200 OK"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 4);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+}
+
+// /queries serves the published engine snapshot; a query disabled by the
+// error budget shows up as "disabled": true with its failure count.
+TEST(MetricsServerTest, QueriesEndpointReflectsDisabledQuery) {
+  EngineOptions engine_options;
+  engine_options.query_error_budget = 2;
+  ContinuousEngine engine(engine_options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine
+                  .RegisterText(
+                      "REGISTER QUERY healthy STARTING AT '1970-01-01T00:05' "
+                      "{ MATCH (n:X) WITHIN PT10M EMIT n.id EVERY PT5M }")
+                  .ok());
+  // Poison: dividing by zero fails while the element is in the window;
+  // two consecutive failures exhaust the budget and disable the query.
+  ASSERT_TRUE(engine
+                  .RegisterText(
+                      "REGISTER QUERY flaky STARTING AT '1970-01-01T00:05' "
+                      "{ MATCH (n:X) WITHIN PT12M EMIT n.id / 0 EVERY PT5M }")
+                  .ok());
+  ASSERT_TRUE(engine.Ingest(Item(1), T(1)).ok());
+  ASSERT_TRUE(engine.AdvanceTo(T(10)).ok());
+  ASSERT_TRUE(engine.QueryDisabled("flaky"));
+
+  // The run loop's contract: refresh the JSON at a quiescent point and
+  // publish it to the server through a mutex-guarded snapshot.
+  std::mutex json_mutex;
+  std::string published = QueriesStatusJson(engine);
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &engine.metrics();
+  options.queries_json = [&]() -> std::string {
+    std::lock_guard<std::mutex> lock(json_mutex);
+    return published;
+  };
+  MetricsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = HttpGet(server.port(), "/queries");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"healthy\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"name\":\"flaky\""), std::string::npos);
+  EXPECT_NE(response.find("\"disabled\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"disabled\":false"), std::string::npos);
+  EXPECT_NE(response.find("\"eval_failures\":2"), std::string::npos);
+  EXPECT_NE(response.find("\"last_error\""), std::string::npos);
+
+  // Reviving the query and republishing flips the flag live.
+  ASSERT_TRUE(engine.ReviveQuery("flaky").ok());
+  {
+    std::lock_guard<std::mutex> lock(json_mutex);
+    published = QueriesStatusJson(engine);
+  }
+  const std::string revived = HttpGet(server.port(), "/queries");
+  EXPECT_EQ(revived.find("\"disabled\":true"), std::string::npos) << revived;
+}
+
+// Without a queries_json callback the endpoint degrades to an empty
+// array rather than failing.
+TEST(MetricsServerTest, QueriesDefaultsToEmptyArray) {
+  MetricsRegistry registry;
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  MetricsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/queries");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seraph

@@ -148,11 +148,29 @@ TEST(MetricsRegistryTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("# TYPE seraph_queries_registered gauge\n"),
             std::string::npos);
   EXPECT_NE(text.find("seraph_queries_registered 2\n"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE seraph_stage_micros summary\n"),
+  EXPECT_NE(text.find("# TYPE seraph_stage_micros histogram\n"),
             std::string::npos);
   EXPECT_NE(
       text.find(
           "seraph_stage_micros{query=\"q\",stage=\"match\",quantile=\"0.5\"}"),
+      std::string::npos);
+  // Native cumulative buckets: 100 and 200 both land in [64, 128) and
+  // [128, 256) respectively, so le="127" counts 1, le="255" counts 2, and
+  // +Inf always equals _count.
+  EXPECT_NE(
+      text.find(
+          "seraph_stage_micros_bucket{query=\"q\",stage=\"match\",le=\"127\"} "
+          "1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "seraph_stage_micros_bucket{query=\"q\",stage=\"match\",le=\"255\"} "
+          "2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "seraph_stage_micros_bucket{query=\"q\",stage=\"match\",le=\"+Inf\"}"
+          " 2\n"),
       std::string::npos);
   EXPECT_NE(
       text.find("seraph_stage_micros_sum{query=\"q\",stage=\"match\"} 300\n"),

@@ -1,0 +1,280 @@
+// latency_harness — steady-state emit-latency measurement for the
+// end-to-end pipeline (docs/INTERNALS.md, "Latency accounting & lag").
+//
+//   latency_harness [--rate=<events/sec>] [--duration-sec=<n>]
+//                   [--queries=<n>] [--out=<path>]
+//                   [--metrics-port=<p>] [--stats-interval=<sec>]
+//
+// The harness produces synthetic person-sighting events into an
+// EventQueue at a sustained target rate (paced against the wall clock,
+// catching up after scheduling hiccups rather than drifting), pumps them
+// through a StreamDriver into a ContinuousEngine running <n> identical
+// sliding-window queries, and reports the resulting ingest→emit latency
+// distribution: p50 / p99 / p999 / max microseconds, the achieved rate,
+// and the maximum event-time lag. Results go to stdout and, as JSON, to
+// --out (default BENCH_latency.json) for the bench-baseline CI diff.
+//
+// With --metrics-port the live observability endpoint is served during
+// the run (GET /metrics, /healthz, /queries), which is how CI's
+// latency-smoke job scrapes `seraph_emit_latency_micros` buckets
+// mid-flight. --stats-interval prints the one-line status
+// (in/out/p99/lag/dlq) every interval, like seraph_run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/dead_letter.h"
+#include "seraph/stream_driver.h"
+#include "server/metrics_server.h"
+#include "stream/event_queue.h"
+
+namespace {
+
+using namespace seraph;
+
+int Fail(const std::string& message) {
+  std::cerr << "latency_harness: " << message << "\n";
+  return 1;
+}
+
+bool FlagValue(const std::string& arg, const std::string& prefix,
+               std::string* value) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+// One synthetic event: a person sighted in a room — enough structure for
+// a MATCH with a relationship hop, tiny enough that event construction
+// does not dominate the measured pipeline.
+PropertyGraph MakeEvent(int64_t i) {
+  GraphBuilder b;
+  const int64_t person = 1 + (i % 64);
+  const int64_t room = 1000 + (i % 8);
+  b.Node(person, {"Person"}, {{"id", Value::Int(person)}});
+  b.Node(room, {"Room"}, {{"id", Value::Int(room)}});
+  b.Rel(2000 + i, person, room, "IN");
+  return b.Build();
+}
+
+// A sink that only counts: the harness measures pipeline latency, not
+// output formatting.
+class CountingSink final : public EmitSink {
+ public:
+  Status OnResult(const std::string&, Timestamp,
+                  const TimeAnnotatedTable& table) override {
+    ++emits_;
+    rows_ += static_cast<int64_t>(table.table.size());
+    return Status::OK();
+  }
+  int64_t emits() const { return emits_; }
+  int64_t rows() const { return rows_; }
+
+ private:
+  int64_t emits_ = 0;
+  int64_t rows_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double rate = 2000.0;       // Events per second.
+  int duration_sec = 5;       // Sustained production window.
+  int queries = 1;            // Identical queries sharing the stream.
+  std::string out_path = "BENCH_latency.json";
+  int metrics_port = -1;      // -1 = endpoint off; 0 = ephemeral.
+  int stats_interval = 0;     // Seconds; 0 = off.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (FlagValue(arg, "--rate=", &value)) {
+      rate = std::atof(value.c_str());
+      if (rate <= 0) return Fail("--rate expects a positive events/sec");
+    } else if (FlagValue(arg, "--duration-sec=", &value)) {
+      duration_sec = std::atoi(value.c_str());
+      if (duration_sec <= 0) {
+        return Fail("--duration-sec expects a positive second count");
+      }
+    } else if (FlagValue(arg, "--queries=", &value)) {
+      queries = std::atoi(value.c_str());
+      if (queries <= 0) return Fail("--queries expects a positive count");
+    } else if (FlagValue(arg, "--out=", &value)) {
+      out_path = value;
+      if (out_path.empty()) return Fail("--out expects a file path");
+    } else if (FlagValue(arg, "--metrics-port=", &value)) {
+      metrics_port = std::atoi(value.c_str());
+      if (metrics_port < 0 || metrics_port > 65535) {
+        return Fail("--metrics-port expects a port number (0 = ephemeral)");
+      }
+    } else if (FlagValue(arg, "--stats-interval=", &value)) {
+      stats_interval = std::atoi(value.c_str());
+      if (stats_interval <= 0) {
+        return Fail("--stats-interval expects a positive second count");
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: latency_harness [--rate=<events/sec>] "
+                   "[--duration-sec=<n>] [--queries=<n>]\n"
+                   "                       [--out=<path>] "
+                   "[--metrics-port=<p>] [--stats-interval=<sec>]\n";
+      return 0;
+    } else {
+      return Fail("unknown argument '" + arg + "' (see --help)");
+    }
+  }
+
+  EventQueue queue;
+  DeadLetterQueue dead_letters;
+  EngineOptions options;
+  options.dead_letter = &dead_letters;
+  ContinuousEngine engine(options);
+  dead_letters.BindDepthGauge(
+      engine.metrics().GaugeFor("seraph_dead_letter_depth"));
+  CountingSink sink;
+  engine.AddSink(&sink, "counting");
+  // Sliding 10 s window, evaluated every second of event time. Event
+  // time advances at one simulated millisecond per produced event scaled
+  // to the target rate, so each harness second triggers about one
+  // evaluation per query regardless of rate.
+  for (int q = 0; q < queries; ++q) {
+    const std::string text =
+        "REGISTER QUERY lat_q" + std::to_string(q) +
+        " STARTING AT '1970-01-01T00:00:01' {\n"
+        "  MATCH (p:Person)-[:IN]->(r:Room) WITHIN PT10S\n"
+        "  EMIT p.id AS person, r.id AS room EVERY PT1S\n"
+        "}\n";
+    if (Status s = engine.RegisterText(text); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+
+  std::mutex queries_json_mutex;
+  std::string queries_json = "[]";
+  MetricsServer::Options server_options;
+  server_options.port = metrics_port < 0 ? 0 : metrics_port;
+  server_options.registry = &engine.metrics();
+  server_options.queries_json = [&]() -> std::string {
+    std::lock_guard<std::mutex> lock(queries_json_mutex);
+    return queries_json;
+  };
+  MetricsServer server(server_options);
+  if (metrics_port >= 0) {
+    if (Status s = server.Start(); !s.ok()) return Fail(s.ToString());
+    std::cerr << "[latency_harness] metrics on http://127.0.0.1:"
+              << server.port() << "/metrics\n";
+  }
+
+  StreamDriver::Options driver_options;
+  driver_options.consumer = "latency-harness";
+  driver_options.dead_letter = &dead_letters;
+  driver_options.poll_batch = 256;
+  queue.Subscribe(driver_options.consumer);
+  StreamDriver driver(&queue, &engine, driver_options);
+
+  // Registry handles for live reporting (all reads are atomic).
+  Histogram* fleet_latency =
+      engine.metrics().HistogramFor("seraph_engine_emit_latency_micros");
+  Gauge* lag_max = engine.metrics().GaugeFor("seraph_stream_lag_max_millis",
+                                             {{"stream", "<default>"}});
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto deadline = start + std::chrono::seconds(duration_sec);
+  // Event time: events advance the stream clock so each wall second
+  // covers ~1 s of event time at the target rate.
+  const double event_millis_per_event = 1000.0 / rate;
+  int64_t produced = 0;
+  int64_t next_stats_at = stats_interval;
+  while (clock::now() < deadline) {
+    const double elapsed_sec =
+        std::chrono::duration<double>(clock::now() - start).count();
+    // Catch-up pacing: produce the deficit between the schedule and what
+    // has been produced so far, then deliver it.
+    const int64_t due = static_cast<int64_t>(elapsed_sec * rate);
+    bool idle = produced >= due;
+    while (produced < due) {
+      const int64_t t_ms =
+          1000 + static_cast<int64_t>(produced * event_millis_per_event);
+      if (Status s = queue.Produce(MakeEvent(produced),
+                                   Timestamp::FromMillis(t_ms));
+          !s.ok()) {
+        return Fail(s.ToString());
+      }
+      ++produced;
+    }
+    auto pumped = driver.PumpAll();
+    if (!pumped.ok()) return Fail(pumped.status().ToString());
+    {
+      std::string fresh = QueriesStatusJson(engine);
+      std::lock_guard<std::mutex> lock(queries_json_mutex);
+      queries_json = std::move(fresh);
+    }
+    if (stats_interval > 0 && elapsed_sec >= next_stats_at) {
+      next_stats_at += stats_interval;
+      HistogramSnapshot lat = fleet_latency->Snapshot();
+      std::cerr << "[latency_harness] in=" << produced
+                << " emits=" << sink.emits() << " p99_emit_us=" << lat.p99
+                << " max_lag_ms=" << lag_max->value()
+                << " dlq=" << dead_letters.size() << "\n";
+    }
+    if (idle) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (Status s = driver.Finish(); !s.ok()) return Fail(s.ToString());
+
+  const double wall_sec =
+      std::chrono::duration<double>(clock::now() - start).count();
+  HistogramSnapshot latency = fleet_latency->Snapshot();
+  if (latency.count == 0) {
+    return Fail("no emit-latency samples were recorded — the run produced "
+                "no delivered evaluations (rate/duration too small?)");
+  }
+  const double achieved = static_cast<double>(produced) / wall_sec;
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "events=%lld (%.0f/s target %.0f/s)  queries=%d  emits=%lld"
+                "  rows=%lld\n"
+                "emit latency (us): p50=%lld p99=%lld p999=%lld max=%lld"
+                "  samples=%lld\n"
+                "max lag: %lld ms  dead letters: %zu\n",
+                static_cast<long long>(produced), achieved, rate, queries,
+                static_cast<long long>(sink.emits()),
+                static_cast<long long>(sink.rows()),
+                static_cast<long long>(latency.p50),
+                static_cast<long long>(latency.p99),
+                static_cast<long long>(latency.p999),
+                static_cast<long long>(latency.max),
+                static_cast<long long>(latency.count),
+                static_cast<long long>(lag_max->value()),
+                dead_letters.size());
+  std::cout << line;
+
+  std::ofstream out(out_path);
+  if (!out) return Fail("cannot open '" + out_path + "'");
+  out << "{\n"
+      << "  \"rate_target\": " << rate << ",\n"
+      << "  \"rate_achieved\": " << achieved << ",\n"
+      << "  \"duration_sec\": " << duration_sec << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"events\": " << produced << ",\n"
+      << "  \"emits\": " << sink.emits() << ",\n"
+      << "  \"rows\": " << sink.rows() << ",\n"
+      << "  \"latency_samples\": " << latency.count << ",\n"
+      << "  \"p50_us\": " << latency.p50 << ",\n"
+      << "  \"p99_us\": " << latency.p99 << ",\n"
+      << "  \"p999_us\": " << latency.p999 << ",\n"
+      << "  \"max_us\": " << latency.max << ",\n"
+      << "  \"max_lag_ms\": " << lag_max->value() << ",\n"
+      << "  \"dead_letters\": " << dead_letters.size() << "\n"
+      << "}\n";
+  std::cerr << "[latency_harness] wrote " << out_path << "\n";
+  return 0;
+}

@@ -26,6 +26,19 @@
 //                     events (and advance the engine as events arrive, so
 //                     the counters are live). Requires a chronologically
 //                     ordered event log.
+//   --metrics-port=<p>  serve the live observability endpoint on
+//                     127.0.0.1:<p> for the duration of the run (0 picks
+//                     an ephemeral port, announced on stderr): GET
+//                     /metrics (Prometheus text, incl. the
+//                     seraph_emit_latency_micros histograms and
+//                     per-stream lag gauges), /healthz, and /queries
+//                     (JSON per-query status). See docs/INTERNALS.md,
+//                     "Latency accounting & lag".
+//   --stats-interval=<sec>  print a one-line status to stderr every
+//                     <sec> seconds while the run is in flight: elements
+//                     in, rows out, p99 emit latency, max lag, dead-letter
+//                     depth. Reads only the (atomic) metrics registry, so
+//                     it is safe alongside the run.
 //
 // Fault tolerance (docs/INTERNALS.md, "Failure model"):
 //   --dead-letter=<path>  capture results permanently rejected by the
@@ -68,11 +81,15 @@
 //                     Results are bit-identical at any thread count. The
 //                     SERAPH_MATCH_THREADS environment variable supplies
 //                     the default when the flag is absent.
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
@@ -85,6 +102,7 @@
 #include "seraph/seraph_parser.h"
 #include "seraph/sinks.h"
 #include "seraph/stream_driver.h"
+#include "server/metrics_server.h"
 #include "stream/event_queue.h"
 
 namespace {
@@ -195,6 +213,69 @@ void PrintProgressLine(const ContinuousEngine& engine,
   std::cerr << "\n";
 }
 
+// The --stats-interval reporter: a background thread printing a one-line
+// status every interval. It reads only the metrics registry, whose
+// instruments are atomics, so running it alongside ingestion/evaluation
+// is race-free (the histogram it snapshots is single-writer on the
+// engine side, multi-reader by design).
+class StatsReporter {
+ public:
+  StatsReporter(MetricsRegistry* registry, std::string query,
+                int interval_sec)
+      : registry_(registry),
+        query_(std::move(query)),
+        interval_sec_(interval_sec) {}
+
+  ~StatsReporter() { Stop(); }
+
+  void Start() {
+    ingested_ = registry_->CounterFor("seraph_stream_elements_ingested_total",
+                                      {{"stream", "<default>"}});
+    rows_ = registry_->CounterFor("seraph_query_rows_emitted_total",
+                                  {{"query", query_}});
+    latency_ = registry_->HistogramFor("seraph_emit_latency_micros",
+                                       {{"query", query_}});
+    lag_max_ = registry_->GaugeFor("seraph_stream_lag_max_millis",
+                                   {{"stream", "<default>"}});
+    dead_letter_depth_ = registry_->GaugeFor("seraph_dead_letter_depth");
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    using namespace std::chrono;
+    auto next = steady_clock::now() + seconds(interval_sec_);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Sleep in short slices so Stop() is prompt.
+      std::this_thread::sleep_for(milliseconds(50));
+      if (steady_clock::now() < next) continue;
+      next += seconds(interval_sec_);
+      HistogramSnapshot latency = latency_->Snapshot();
+      std::cerr << "[seraph_run] in=" << ingested_->value()
+                << " rows_out=" << rows_->value()
+                << " p99_emit_us=" << latency.p99
+                << " max_lag_ms=" << lag_max_->value()
+                << " dlq=" << dead_letter_depth_->value() << "\n";
+    }
+  }
+
+  MetricsRegistry* registry_;
+  std::string query_;
+  int interval_sec_;
+  Counter* ingested_ = nullptr;
+  Counter* rows_ = nullptr;
+  Histogram* latency_ = nullptr;
+  Gauge* lag_max_ = nullptr;
+  Gauge* dead_letter_depth_ = nullptr;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +298,8 @@ int main(int argc, char** argv) {
     if (end != env && *end == '\0' && parsed > 0) checkpoint_every = parsed;
   }
   long progress_every = 0;
+  int metrics_port = -1;    // -1 = endpoint off; 0 = ephemeral port.
+  int stats_interval = 0;   // Seconds; 0 = reporter off.
   // --threads beats SERAPH_EVAL_THREADS beats serial; --match-threads
   // beats SERAPH_MATCH_THREADS likewise.
   int eval_threads = EvalThreadsFromEnv(1);
@@ -264,6 +347,22 @@ int main(int argc, char** argv) {
       if (progress_every <= 0) {
         return Fail("--progress expects a positive event count");
       }
+    } else if (FlagValue(arg, "--metrics-port=", &value)) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0 ||
+          parsed > 65535) {
+        return Fail("--metrics-port expects a port number "
+                    "(0 = ephemeral)");
+      }
+      metrics_port = static_cast<int>(parsed);
+    } else if (FlagValue(arg, "--stats-interval=", &value)) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        return Fail("--stats-interval expects a positive second count");
+      }
+      stats_interval = static_cast<int>(parsed);
     } else if (FlagValue(arg, "--threads=", &value)) {
       char* end = nullptr;
       long parsed = std::strtol(value.c_str(), &end, 10);
@@ -290,6 +389,8 @@ int main(int argc, char** argv) {
              "[--match-threads=<n>]\n"
              "                  [--checkpoint-dir=<dir>] "
              "[--checkpoint-every=<n>] [--restore]\n"
+             "                  [--metrics-port=<p>] "
+             "[--stats-interval=<sec>]\n"
              "       seraph_run --inspect-checkpoint "
              "--checkpoint-dir=<dir>\n";
       return 0;
@@ -354,6 +455,35 @@ int main(int argc, char** argv) {
     options.checkpoint_every = checkpoint_every;
   }
   ContinuousEngine engine(options);
+  // Live dead-letter depth for /metrics and the stats line (the gauge
+  // mirrors every queue mutation).
+  dead_letters.BindDepthGauge(
+      engine.metrics().GaugeFor("seraph_dead_letter_depth"));
+  // /queries serves a published snapshot: the engine's query state is not
+  // thread-safe to walk from the server thread, so the run refreshes this
+  // string at quiescent points and the server only copies it.
+  std::mutex queries_json_mutex;
+  std::string queries_json = "[]";
+  auto publish_queries = [&] {
+    std::string fresh = QueriesStatusJson(engine);
+    std::lock_guard<std::mutex> lock(queries_json_mutex);
+    queries_json = std::move(fresh);
+  };
+  MetricsServer::Options server_options;
+  server_options.port = metrics_port < 0 ? 0 : metrics_port;
+  server_options.registry = &engine.metrics();
+  server_options.queries_json = [&]() -> std::string {
+    std::lock_guard<std::mutex> lock(queries_json_mutex);
+    return queries_json;
+  };
+  MetricsServer server(server_options);
+  if (metrics_port >= 0) {
+    if (Status s = server.Start(); !s.ok()) return Fail(s.ToString());
+    std::cerr << "[seraph_run] metrics on http://127.0.0.1:" << server.port()
+              << "/metrics (also /healthz, /queries)\n";
+  }
+  StatsReporter reporter(&engine.metrics(), name, stats_interval);
+  if (stats_interval > 0) reporter.Start();
   PrintingSink printer(&std::cout, columns);
   CsvSink csv_sink(&std::cout, columns);
   JsonLinesSink json_sink(&std::cout, /*include_empty=*/false);
@@ -368,6 +498,7 @@ int main(int argc, char** argv) {
   if (Status s = engine.Register(std::move(query).value()); !s.ok()) {
     return Fail(s.ToString());
   }
+  publish_queries();
   if (!checkpoint_dir.empty()) {
     // Durable mode: route the event log through an EventQueue so the
     // consumer offset is a checkpointable position, commit a generation
@@ -437,6 +568,7 @@ int main(int argc, char** argv) {
                       " (--progress requires a chronological event log)");
         }
         PrintProgressLine(engine, name, ingested, events->size());
+        publish_queries();
       }
     }
     if (Status s = engine.Drain(); !s.ok()) return Fail(s.ToString());
@@ -444,6 +576,12 @@ int main(int argc, char** argv) {
       PrintProgressLine(engine, name, ingested, events->size());
     }
   }
+
+  // The run is quiescent again: refresh /queries and stop the periodic
+  // reporter (the endpoint itself stays up until exit so a scraper can
+  // collect the final state).
+  publish_queries();
+  reporter.Stop();
 
   // Query isolation: evaluation failures no longer abort the run, so
   // surface them here — and treat a disabled query (error budget
