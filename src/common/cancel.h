@@ -1,0 +1,69 @@
+// Cooperative cancellation for long-running evaluations.
+//
+// A `CancellationToken` pairs an injectable `Clock` with an absolute
+// deadline. Hot loops (the matcher DFS, morsel workers) call `Check()` at
+// seed/expansion boundaries; the token reads the clock only once every
+// `kCheckStride` calls so the common case costs one relaxed atomic
+// increment. Expiry is sticky: once the deadline has passed every
+// subsequent `Check()` fails immediately, so all morsel workers sharing a
+// token abort promptly once any of them observes the deadline.
+//
+// When no deadline is configured the engine simply does not install a
+// token, and call sites pay a single null-pointer test (see
+// `EvalContext::CheckCancelled`).
+#ifndef SERAPH_COMMON_CANCEL_H_
+#define SERAPH_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace seraph {
+
+class CancellationToken {
+ public:
+  // `clock` must outlive the token and must not be null. `deadline_micros`
+  // is an absolute instant on `clock`'s timebase.
+  CancellationToken(const Clock* clock, int64_t deadline_micros)
+      : clock_(clock), deadline_micros_(deadline_micros) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  // Read the clock every 32nd call; sticky expiry makes the stride safe.
+  static constexpr int64_t kCheckStride = 32;
+
+  // True once the deadline has passed (or `Cancel()` was called).
+  bool Expired() const {
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    int64_t n = calls_.fetch_add(1, std::memory_order_relaxed);
+    if (n % kCheckStride != 0) return false;
+    if (clock_->NowMicros() < deadline_micros_) return false;
+    expired_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  // OK while the deadline holds; kDeadlineExceeded afterwards.
+  Status Check() const {
+    if (!Expired()) return Status::OK();
+    return Status::DeadlineExceeded("evaluation deadline exceeded");
+  }
+
+  // Trip the token explicitly (independent of the clock).
+  void Cancel() { expired_.store(true, std::memory_order_relaxed); }
+
+  int64_t deadline_micros() const { return deadline_micros_; }
+
+ private:
+  const Clock* clock_;
+  const int64_t deadline_micros_;
+  mutable std::atomic<int64_t> calls_{0};
+  mutable std::atomic<bool> expired_{false};
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_COMMON_CANCEL_H_

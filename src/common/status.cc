@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnimplemented,     // Feature outside the supported Cypher/Seraph subset.
   kInternal,          // Invariant violation; indicates a library bug.
   kUnavailable,       // Transient failure (transport/sink hiccup); retryable.
+  kDeadlineExceeded,  // Cooperative cancellation: a deadline expired mid-work.
 };
 
 // Returns a stable lower-case name for `code` (e.g. "parse_error").
@@ -79,6 +80,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "cypher/ast.h"
 #include "graph/property_graph.h"
@@ -87,6 +88,21 @@ class EvalContext {
     match_parallelism_ = parallelism;
   }
 
+  // Cooperative evaluation deadline (null = none, the default; not owned,
+  // must outlive the context). Unlike match_parallelism, the token is
+  // *kept* on morsel-worker context copies: all workers share one sticky
+  // token, so a deadline observed by any of them aborts the whole match.
+  const CancellationToken* cancellation() const { return cancellation_; }
+  void set_cancellation(const CancellationToken* token) {
+    cancellation_ = token;
+  }
+  // OK when no token is installed or the deadline holds; the hot-loop
+  // check (one null test when deadlines are off).
+  Status CheckCancelled() const {
+    if (cancellation_ == nullptr) return Status::OK();
+    return cancellation_->Check();
+  }
+
  private:
   const PropertyGraph* graph_;
   const Record* record_;
@@ -95,6 +111,7 @@ class EvalContext {
   std::optional<TimeInterval> window_;
   const std::unordered_map<const Expr*, Value>* aggregate_results_ = nullptr;
   const MatchParallelism* match_parallelism_ = nullptr;
+  const CancellationToken* cancellation_ = nullptr;
   std::vector<std::pair<std::string, Value>> locals_;
 };
 

@@ -52,6 +52,7 @@ class Executor {
     ctx_.set_now(options_.now);
     ctx_.set_window(options_.window);
     ctx_.set_match_parallelism(options_.match_parallelism);
+    ctx_.set_cancellation(options_.cancellation);
   }
 
   Result<Table> Run(const SingleQuery& query, const Table& input) {

@@ -21,6 +21,7 @@
 namespace seraph {
 
 struct MatchParallelism;  // cypher/matcher.h
+class CancellationToken;  // common/cancel.h
 
 struct ExecutionOptions {
   // Values for $parameters.
@@ -36,6 +37,10 @@ struct ExecutionOptions {
   // Morsel-partitioned parallel pattern matching (cypher/matcher.h); the
   // spec must outlive the execution. Null = serial matching.
   const MatchParallelism* match_parallelism = nullptr;
+  // Cooperative evaluation deadline (common/cancel.h); checked by the
+  // matcher at seed/expansion boundaries. Null = no deadline. Must
+  // outlive the execution.
+  const CancellationToken* cancellation = nullptr;
 };
 
 // Supplies the graph each MATCH clause is evaluated against. Seraph's

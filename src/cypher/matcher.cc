@@ -161,6 +161,8 @@ class Matcher {
                    PathValue* trail) {
     const NodePattern& np = path.nodes[node_idx];
     auto try_candidate = [&](NodeId id) -> Status {
+      // Seed/candidate boundary: one null test when no deadline is set.
+      SERAPH_RETURN_IF_ERROR(ctx_.CheckCancelled());
       SERAPH_ASSIGN_OR_RETURN(bool ok, NodeSatisfies(id, np));
       if (!ok) return Status::OK();
       bool bound_here = false;
@@ -548,6 +550,8 @@ class Matcher {
   // `from` admissible under `direction`.
   Status ForEachIncident(NodeId from, RelDirection direction,
                          const std::function<Status(RelId, NodeId)>& fn) {
+    // Expansion boundary of the DFS (and of var-length/BFS walks).
+    SERAPH_RETURN_IF_ERROR(ctx_.CheckCancelled());
     if (direction != RelDirection::kIncoming) {
       for (RelId rid : graph_.OutRelationships(from)) {
         const RelData* data = graph_.relationship(rid);

@@ -67,6 +67,17 @@ class CheckpointManager {
   // every checkpoint (the StreamDriver's position). Not owned.
   void BindQueue(std::string consumer, const EventQueue* queue);
 
+  // Couples `queue`'s retention trim to the checkpoint horizon
+  // (docs/INTERNALS.md, "Overload & backpressure" / "Durability &
+  // recovery"): entries not yet covered by a committed checkpoint are
+  // never trimmed — recovery re-seeks consumers to the last checkpointed
+  // offsets, so the replay suffix must stay retained. The horizon starts
+  // at 0 (nothing durable yet) and, after each successful commit,
+  // advances to the minimum offset the new generation recorded for this
+  // queue's bound consumers (BindQueue the consumers first), followed by
+  // a proactive trim. Not owned.
+  void ManageRetention(EventQueue* queue);
+
   // Registers the dead-letter queue to persist. Not owned.
   void BindDeadLetter(const DeadLetterQueue* dead_letter);
 
@@ -92,8 +103,13 @@ class CheckpointManager {
                      uint64_t* bytes_written);
   void GarbageCollect(uint64_t newest_seq);
 
+  // Advances the checkpoint horizon of every retention-managed queue to
+  // the offsets the just-committed generation captured, then trims.
+  void AdvanceRetention();
+
   CheckpointOptions options_;
   std::vector<std::pair<std::string, const EventQueue*>> queues_;
+  std::vector<EventQueue*> retention_queues_;
   const DeadLetterQueue* dead_letter_ = nullptr;
   bool seq_initialized_ = false;
   uint64_t next_seq_ = 1;

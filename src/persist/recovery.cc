@@ -280,7 +280,9 @@ Status RestoreConsumer(const CheckpointImage& image,
   queue->Subscribe(consumer);
   auto it = image.offsets.find(consumer);
   if (it == image.offsets.end()) return Status::OK();
-  return queue->Seek(consumer, static_cast<size_t>(it->second));
+  // RestoreOffset, not Seek: a bounded tool restores before re-producing
+  // the log, so the checkpointed offset may lead the still-empty queue.
+  return queue->RestoreOffset(consumer, static_cast<size_t>(it->second));
 }
 
 Status RestoreDeadLetters(const CheckpointImage& image,

@@ -1,9 +1,11 @@
 #include "seraph/continuous_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "cypher/executor.h"
 #include "cypher/matcher.h"
@@ -225,6 +227,7 @@ ContinuousEngine::ContinuousEngine(EngineOptions options)
   batch_size_ = metrics_.HistogramFor("seraph_engine_eval_batch_size");
   parallel_evals_ =
       metrics_.CounterFor("seraph_engine_parallel_evals_total");
+  stuck_evals_ = metrics_.GaugeFor("seraph_engine_stuck_evals");
   fleet_emit_latency_ =
       metrics_.HistogramFor("seraph_engine_emit_latency_micros");
   engine_clock_millis_ = metrics_.GaugeFor("seraph_engine_clock_millis");
@@ -664,7 +667,34 @@ Status ContinuousEngine::AdvanceTo(Timestamp now) {
       // scheduled) until every evaluation of this instant finished. The
       // joins also establish the happens-before edge that lets the
       // coordinator read worker-written per-query state without locks.
-      for (auto& f : futures) f.wait();
+      // The barrier is watched: an evaluation still running past the
+      // watchdog period is logged with the offending query's name and
+      // gauged — PR 3's isolation catches failures, this catches hangs.
+      // The coordinator still waits (delivery order must hold); the
+      // watchdog makes the hang diagnosable, a cooperative deadline
+      // (eval_deadline_millis) is what unwedges it.
+      const int64_t watchdog_ms =
+          options_.watchdog_millis > 0 ? options_.watchdog_millis
+          : options_.eval_deadline_millis > 0
+              ? std::max<int64_t>(4 * options_.eval_deadline_millis, 100)
+              : 10'000;
+      bool any_stuck = false;
+      for (size_t i = 0; i < futures.size(); ++i) {
+        int64_t overdue_rounds = 0;
+        while (futures[i].wait_for(std::chrono::milliseconds(watchdog_ms)) !=
+               std::future_status::ready) {
+          ++overdue_rounds;
+          any_stuck = true;
+          // Unjoined evaluations of this batch (at least this one).
+          stuck_evals_->Set(static_cast<int64_t>(futures.size() - i));
+          SERAPH_LOG(ERROR)
+              << "batch watchdog: evaluation of query '"
+              << batch[i]->query.name << "' at " << t.ToString()
+              << " still running after " << watchdog_ms * overdue_rounds
+              << " ms; batch barrier is stuck";
+        }
+      }
+      if (any_stuck) stuck_evals_->Set(0);
       parallel_evals_->Increment(static_cast<int64_t>(batch.size()));
     } else {
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -1026,6 +1056,29 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
     // this batch (match_par.pool set by AdvanceTo).
     exec.match_parallelism =
         state->match_par.pool != nullptr ? &state->match_par : nullptr;
+    // Evaluation deadline: a stack token on the latency clock, checked by
+    // the matcher at seed/expansion boundaries. On expiry the evaluation
+    // fails with kDeadlineExceeded, which flows through the isolation
+    // path below exactly like any other evaluation failure. The
+    // "eval.deadline" fault point deterministically simulates an expiry
+    // for chaos tests (its kUnavailable is re-coded: a deadline is not
+    // transient — retrying a too-slow query at the same instant would
+    // just time out again, so it must hit the error budget instead).
+    std::optional<CancellationToken> deadline;
+    if (options_.eval_deadline_millis > 0) {
+      if (FaultInjector::Global().armed()) {
+        Status injected = FaultInjector::Global().Fire("eval.deadline");
+        if (!injected.ok()) {
+          return Status::DeadlineExceeded(
+              "evaluation deadline exceeded (injected): " +
+              injected.message());
+        }
+      }
+      deadline.emplace(LatencyClock(),
+                       LatencyClock()->NowMicros() +
+                           options_.eval_deadline_millis * 1000);
+      exec.cancellation = &*deadline;
+    }
     // Share the clause/projection structures without copying expression
     // trees: move them into a temporary SingleQuery and back (the
     // executor only reads).
@@ -1228,6 +1281,15 @@ int EvalThreadsFromEnv(int fallback) {
 
 int MatchThreadsFromEnv(int fallback) {
   return ThreadsFromEnvVar("SERAPH_MATCH_THREADS", fallback);
+}
+
+int64_t EvalDeadlineMillisFromEnv(int64_t fallback) {
+  const char* raw = std::getenv("SERAPH_EVAL_DEADLINE_MS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0) return fallback;
+  return static_cast<int64_t>(value);
 }
 
 }  // namespace seraph

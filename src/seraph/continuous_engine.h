@@ -124,6 +124,23 @@ struct EngineOptions {
   int match_min_seeds = 2048;
   // Seed candidates per morsel.
   int match_morsel_size = 512;
+  // Evaluation deadline (docs/INTERNALS.md, "Overload & backpressure"):
+  // when > 0, each query evaluation carries a cooperative cancellation
+  // token the matcher checks at seed/expansion boundaries; an evaluation
+  // exceeding the deadline fails with kDeadlineExceeded and flows through
+  // the isolation path (dead-letter, error budget, disable, revive) like
+  // any other evaluation failure. 0 (default) = no deadline, no token,
+  // zero overhead. The deadline is measured on the latency clock
+  // (`clock`), so tests drive it with a ManualClock.
+  int64_t eval_deadline_millis = 0;
+  // Batch-barrier watchdog: with parallel evaluation, the coordinator
+  // logs (and gauges, seraph_engine_stuck_evals) any evaluation still
+  // running this many millis after its batch started, naming the
+  // offending query. 0 = auto: 4x eval_deadline_millis when a deadline
+  // is set (a cooperative deadline should have fired long before), else
+  // 10s. Wall-clock by necessity — the watchdog exists to detect stuck
+  // threads that no injectable clock tick would ever reach.
+  int64_t watchdog_millis = 0;
   // Query isolation: after this many *consecutive* failed evaluations a
   // query is disabled (it stops being scheduled; the rest of the fleet
   // keeps running — the query-side mirror of sink quarantine). 0 never
@@ -508,6 +525,9 @@ class ContinuousEngine {
   // Scheduler metrics, resolved once.
   Histogram* batch_size_ = nullptr;
   Counter* parallel_evals_ = nullptr;
+  // Batch-barrier watchdog: number of evaluations currently overdue
+  // (non-zero only while a batch is stuck past watchdog_millis).
+  Gauge* stuck_evals_ = nullptr;
   // Emit-latency fleet metrics (docs/INTERNALS.md, "Latency accounting &
   // lag"), resolved at construction: the all-queries latency histogram
   // and the engine event-time clock gauge the per-stream lag is measured
@@ -524,6 +544,12 @@ int EvalThreadsFromEnv(int fallback);
 
 // Same contract for SERAPH_MATCH_THREADS (intra-query parallel matching).
 int MatchThreadsFromEnv(int fallback);
+
+// The value of SERAPH_EVAL_DEADLINE_MS (a non-negative millisecond
+// count; 0 = no deadline), or `fallback` when unset or malformed — the
+// environment mirror of EngineOptions::eval_deadline_millis /
+// `--eval-deadline-ms`.
+int64_t EvalDeadlineMillisFromEnv(int64_t fallback);
 
 }  // namespace seraph
 

@@ -1,11 +1,13 @@
 #include "server/metrics_server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -30,9 +32,38 @@ std::string RequestPath(const std::string& request) {
   return path;
 }
 
-void WriteAll(int fd, const std::string& data) {
+int64_t SteadyNowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Waits until `fd` is ready for `events` or `deadline_millis` passes.
+// False on timeout or a poll error.
+bool PollUntil(int fd, short events, int64_t deadline_millis) {
+  while (true) {
+    const int64_t remaining = deadline_millis - SteadyNowMillis();
+    if (remaining <= 0) return false;
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // Deadline elapsed.
+    // Ready (including HUP/ERR — let recv/send observe the condition).
+    return true;
+  }
+}
+
+// Sends all of `data` on the (non-blocking) socket, never sleeping in
+// send(): each chunk waits for writability under the shared connection
+// deadline, so a client that stops reading mid-response cannot wedge the
+// serve loop. False when the client went away or the deadline passed.
+bool WriteAll(int fd, const std::string& data, int64_t deadline_millis) {
   size_t sent = 0;
   while (sent < data.size()) {
+    if (!PollUntil(fd, POLLOUT, deadline_millis)) return false;
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
@@ -40,12 +71,16 @@ void WriteAll(int fd, const std::string& data) {
                              0
 #endif
     );
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // Client went away; nothing to salvage.
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;  // Client went away; nothing to salvage.
     }
+    if (n == 0) return false;
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 std::string HttpResponse(int code, const char* reason,
@@ -166,6 +201,15 @@ void MetricsServer::Serve() {
 }
 
 void MetricsServer::HandleConnection(int client) {
+  // Per-connection IO deadline: the serve loop handles one client at a
+  // time, so reads and writes are non-blocking and poll()-gated — a
+  // connect-and-hang client (or one that stops reading the response) is
+  // abandoned at the deadline instead of wedging every other scraper.
+  const int flags = ::fcntl(client, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(client, F_SETFL, flags | O_NONBLOCK);
+  const int64_t deadline_millis =
+      SteadyNowMillis() + options_.io_timeout_millis;
+
   // One short request; 4 KiB covers any GET line + headers we care about.
   std::string request;
   char buf[4096];
@@ -174,36 +218,62 @@ void MetricsServer::HandleConnection(int client) {
   // is just protocol hygiene.
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < sizeof(buf)) {
+    if (!PollUntil(client, POLLIN, deadline_millis)) {
+      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      SERAPH_LOG(WARNING) << "metrics server: dropping stalled connection "
+                             "(no request within "
+                          << options_.io_timeout_millis << " ms)";
+      return;
+    }
     const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       break;
     }
+    if (n == 0) break;
     request.append(buf, static_cast<size_t>(n));
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 
   const std::string path = RequestPath(request);
+  bool sent = true;
   if (path == "/metrics") {
     const std::string body = options_.registry != nullptr
                                  ? options_.registry->ToPrometheusText()
                                  : std::string();
-    WriteAll(client,
-             HttpResponse(200, "OK",
-                          "text/plain; version=0.0.4; charset=utf-8", body));
+    sent = WriteAll(client,
+                    HttpResponse(200, "OK",
+                                 "text/plain; version=0.0.4; charset=utf-8",
+                                 body),
+                    deadline_millis);
   } else if (path == "/healthz") {
-    WriteAll(client, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    sent = WriteAll(client, HttpResponse(200, "OK", "text/plain", "ok\n"),
+                    deadline_millis);
   } else if (path == "/queries") {
     const std::string body =
         options_.queries_json ? options_.queries_json() : std::string("[]");
-    WriteAll(client, HttpResponse(200, "OK", "application/json", body));
+    sent = WriteAll(client,
+                    HttpResponse(200, "OK", "application/json", body),
+                    deadline_millis);
   } else if (path.empty()) {
-    WriteAll(client,
-             HttpResponse(400, "Bad Request", "text/plain", "bad request\n"));
+    sent = WriteAll(client,
+                    HttpResponse(400, "Bad Request", "text/plain",
+                                 "bad request\n"),
+                    deadline_millis);
   } else {
-    WriteAll(client, HttpResponse(
-                         404, "Not Found", "text/plain",
-                         "not found; try /metrics, /healthz, /queries\n"));
+    sent = WriteAll(client,
+                    HttpResponse(
+                        404, "Not Found", "text/plain",
+                        "not found; try /metrics, /healthz, /queries\n"),
+                    deadline_millis);
+  }
+  if (!sent && SteadyNowMillis() >= deadline_millis) {
+    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    SERAPH_LOG(WARNING) << "metrics server: dropping stalled connection "
+                           "(response not drained within "
+                        << options_.io_timeout_millis << " ms)";
   }
 }
 

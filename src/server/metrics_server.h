@@ -41,6 +41,11 @@ class MetricsServer {
     // QueriesStatusJson(...)). May be empty; then /queries serves "[]".
     // Called on the server thread — must be thread-safe.
     std::function<std::string()> queries_json;
+    // Per-connection IO budget (read + write share one deadline). The
+    // accept loop serves one client at a time, so without a deadline a
+    // connect-and-hang client wedges /metrics and /healthz for everyone;
+    // with it, a stalled connection is abandoned and the loop moves on.
+    int io_timeout_millis = 5000;
   };
 
   explicit MetricsServer(Options options) : options_(std::move(options)) {}
@@ -65,6 +70,12 @@ class MetricsServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  // Connections abandoned because the client stalled past
+  // Options::io_timeout_millis (introspection for tests).
+  int64_t connections_timed_out() const {
+    return connections_timed_out_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Serve();                       // The accept loop (server thread).
   void HandleConnection(int client);  // One request → one response.
@@ -75,6 +86,7 @@ class MetricsServer {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> connections_timed_out_{0};
 };
 
 // The /queries payload: a JSON array with one object per registered

@@ -1,26 +1,144 @@
 #include "stream/event_queue.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/fault.h"
 
 namespace seraph {
+
+Status EventQueue::Produce(PropertyGraph graph, Timestamp timestamp) {
+  return Produce(std::make_shared<const PropertyGraph>(std::move(graph)),
+                 timestamp);
+}
+
+Status EventQueue::Produce(std::shared_ptr<const PropertyGraph> graph,
+                           Timestamp timestamp) {
+  // Fires before admission: a failed produce admits nothing.
+  SERAPH_FAULT_POINT("queue.produce");
+  if (options_.capacity > 0) {
+    SERAPH_RETURN_IF_ERROR(AdmitOne());
+  }
+  return log_.Append(std::move(graph), timestamp, clock_->NowMicros());
+}
+
+Status EventQueue::AdmitOne() {
+  TrimCommitted();
+  if (log_.size() < options_.capacity) return Status::OK();
+
+  switch (options_.overflow_policy) {
+    case OverflowPolicy::kReject:
+      ++rejected_total_;
+      return Status::Unavailable("event queue full (capacity " +
+                                 std::to_string(options_.capacity) +
+                                 ", policy reject)");
+
+    case OverflowPolicy::kShedOldest:
+      // Evict exactly one: we admit exactly one.
+      ShedOldest();
+      return Status::OK();
+
+    case OverflowPolicy::kBlock: {
+      // Bounded wait for a retention trim to open space. Waiting is
+      // counted against the injectable clock; when the clock is pinned
+      // (ManualClock in tests) each attempt accounts one virtual
+      // millisecond, so the wait is deterministic and never sleeps.
+      ++blocked_produces_total_;
+      int64_t waited_millis = 0;
+      int64_t last_micros = clock_->NowMicros();
+      while (waited_millis < options_.block_timeout_millis) {
+        TrimCommitted();
+        if (log_.size() < options_.capacity) {
+          blocked_millis_total_ += waited_millis;
+          return Status::OK();
+        }
+        int64_t now_micros = clock_->NowMicros();
+        if (now_micros > last_micros) {
+          waited_millis += (now_micros - last_micros + 999) / 1000;
+          last_micros = now_micros;
+          std::this_thread::yield();
+        } else {
+          ++waited_millis;  // Virtual time: pinned or sub-ms clock.
+        }
+      }
+      blocked_millis_total_ += waited_millis;
+      ++rejected_total_;
+      return Status::Unavailable(
+          "event queue full (capacity " + std::to_string(options_.capacity) +
+          ") after blocking " + std::to_string(waited_millis) + " ms");
+    }
+  }
+  return Status::Internal("unknown overflow policy");
+}
+
+void EventQueue::ShedOldest() {
+  if (log_.empty()) return;
+  const StreamElement& victim = log_.at(0);
+  if (shed_callback_) shed_callback_(victim);
+  log_.DropFront(1);
+  ++base_;
+  ++shed_total_;
+  // Consumers that had not consumed the victim lose it; their committed
+  // position moves to the new base so the next poll starts at the oldest
+  // retained element. The loss is exactly the shed-accounted element.
+  for (auto& [name, offset] : offsets_) {
+    offset = std::max(offset, base_);
+  }
+}
+
+size_t EventQueue::TrimCommitted() {
+  if (offsets_.empty()) return 0;
+  size_t floor = checkpoint_horizon_;
+  for (const auto& [name, offset] : offsets_) {
+    floor = std::min(floor, offset);
+  }
+  if (floor <= base_) return 0;
+  // The floor can run ahead of what has been appended (a restored
+  // checkpoint horizon while the tool is still re-producing the log
+  // prefix); clamp so base_ always equals the count of appended-and-
+  // discarded elements and offsets keep their meaning.
+  size_t n = std::min(floor - base_, log_.size());
+  if (n == 0) return 0;
+  log_.DropFront(n);
+  base_ += n;
+  trimmed_total_ += static_cast<int64_t>(n);
+  return n;
+}
 
 Result<std::vector<StreamElement>> EventQueue::Poll(
     const std::string& consumer, size_t max_events) {
   // Fires before the offset moves: a failed poll consumes nothing.
   SERAPH_FAULT_POINT("queue.poll");
   size_t& offset = offsets_[consumer];
+  // A consumer below the retention base (first poll on a trimmed queue,
+  // or its unconsumed prefix was shed) resumes at the oldest retained
+  // element; shed losses were accounted at eviction time.
+  offset = std::max(offset, base_);
   std::vector<StreamElement> out;
-  while (offset < log_.size() && out.size() < max_events) {
-    out.push_back(log_.at(offset));
+  while (offset < size() && out.size() < max_events) {
+    out.push_back(log_.at(offset - base_));
     ++offset;
   }
   return out;
 }
 
 Status EventQueue::Seek(const std::string& consumer, size_t offset) {
-  if (offset > log_.size()) {
+  if (offset > size()) {
     return Status::OutOfRange("seek offset past end of queue");
   }
+  if (offset < base_) {
+    return Status::OutOfRange(
+        "seek offset " + std::to_string(offset) +
+        " below retention base " + std::to_string(base_) +
+        " (entry trimmed or shed)");
+  }
+  offsets_[consumer] = offset;
+  return Status::OK();
+}
+
+Status EventQueue::RestoreOffset(const std::string& consumer,
+                                 size_t offset) {
+  if (offset <= size()) return Seek(consumer, offset);
   offsets_[consumer] = offset;
   return Status::OK();
 }

@@ -4,10 +4,20 @@
 // seek for replay. This is the transport substitution documented in
 // DESIGN.md §5 — delivery order and timestamps are what the Seraph
 // semantics depend on, not the wire protocol.
+//
+// The queue can be bounded (Options::capacity) with a producer-side
+// overflow policy, and retention-trims entries that every consumer has
+// committed past (and, when a CheckpointManager manages the queue, that
+// the checkpoint horizon covers) — queue memory is then proportional to
+// consumer lag, not stream length. Offsets are *absolute*: trimming moves
+// an internal base, never renumbers, so driver backlog math and
+// checkpointed offsets stay valid. See docs/INTERNALS.md, "Overload &
+// backpressure".
 #ifndef SERAPH_STREAM_EVENT_QUEUE_H_
 #define SERAPH_STREAM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -16,30 +26,58 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "stream/graph_stream.h"
+#include "stream/overflow_policy.h"
 
 namespace seraph {
 
 // Poll / Seek / OffsetOf are virtual so fault-tolerance tests can model
 // a flaky transport (see tests/fault_doubles.h); the queue also carries
-// the "queue.poll" fault point. Poll can therefore fail like a real
-// broker call — a failed poll consumes nothing (the offset is only
-// advanced after the log read succeeds), so callers simply re-poll.
+// the "queue.poll" and "queue.produce" fault points. Poll can therefore
+// fail like a real broker call — a failed poll consumes nothing (the
+// offset is only advanced after the log read succeeds), so callers simply
+// re-poll. A failed produce admits nothing.
+//
+// The queue is not internally synchronized (like the rest of the ingest
+// path it runs under the single-threaded pump loop); the `block` policy
+// therefore frees space by retention-trimming, not by waiting on another
+// thread.
 class EventQueue {
  public:
+  struct Options {
+    // 0 = unbounded (the default, and what the default constructor gives
+    // fault doubles that subclass the queue).
+    size_t capacity = 0;
+    OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+    // Upper bound on a blocked produce. Counted against the injectable
+    // clock; when the clock does not advance between attempts (pinned
+    // ManualClock), each attempt accounts one virtual millisecond, so
+    // blocking is deterministic and never hangs a test.
+    int64_t block_timeout_millis = 50;
+  };
+
   EventQueue() = default;
+  explicit EventQueue(Options options) : options_(options) {}
   virtual ~EventQueue() = default;
+
+  // Invoked with each element evicted by the shed_oldest policy, before
+  // the element is dropped. Callers wire this to a dead-letter queue so
+  // shed elements are observable, not silently lost.
+  using ShedCallback = std::function<void(const StreamElement& element)>;
+  void SetShedCallback(ShedCallback callback) {
+    shed_callback_ = std::move(callback);
+  }
 
   // Appends an event; timestamps must be non-decreasing (the queue is the
   // stream order authority). Each event is stamped with its
   // processing-time arrival (the emit-latency layer's t0 — see
-  // docs/INTERNALS.md, "Latency accounting & lag").
-  Status Produce(PropertyGraph graph, Timestamp timestamp) {
-    return log_.Append(std::move(graph), timestamp, clock_->NowMicros());
-  }
+  // docs/INTERNALS.md, "Latency accounting & lag"). On a bounded queue a
+  // full log is resolved by the overflow policy: block waits (bounded) for
+  // a retention trim to open space, reject returns kUnavailable, and
+  // shed_oldest evicts the oldest retained element (counted and passed to
+  // the shed callback).
+  Status Produce(PropertyGraph graph, Timestamp timestamp);
   Status Produce(std::shared_ptr<const PropertyGraph> graph,
-                 Timestamp timestamp) {
-    return log_.Append(std::move(graph), timestamp, clock_->NowMicros());
-  }
+                 Timestamp timestamp);
 
   // Substitutes the arrival-stamp clock (tests inject a ManualClock for
   // deterministic latency histograms). Not owned; must outlive the queue.
@@ -47,17 +85,28 @@ class EventQueue {
     clock_ = clock != nullptr ? clock : Clock::Steady();
   }
 
-  // Creates (or resets) a consumer at offset 0.
-  void Subscribe(const std::string& consumer) { offsets_[consumer] = 0; }
+  // Creates (or resets) a consumer at the oldest retained offset (0 on a
+  // never-trimmed queue).
+  void Subscribe(const std::string& consumer) { offsets_[consumer] = base_; }
 
   // Returns up to `max_events` events past the consumer's offset and
-  // advances it. Unknown consumers start at offset 0. A transient
-  // transport failure (injected or simulated) advances nothing.
+  // advances it. Unknown consumers start at the oldest retained offset.
+  // A transient transport failure (injected or simulated) advances
+  // nothing.
   virtual Result<std::vector<StreamElement>> Poll(const std::string& consumer,
                                                   size_t max_events);
 
-  // Repositions a consumer (replay / delivery-failure recovery).
+  // Repositions a consumer (replay / delivery-failure recovery). Fails
+  // with kOutOfRange past the end or below the retention base.
   virtual Status Seek(const std::string& consumer, size_t offset);
+
+  // Recovery-time Seek variant: positions `consumer` at `offset` even
+  // when it is ahead of everything appended so far. A bounded tool
+  // re-produces the event log *after* restoring its checkpoint, so the
+  // committed position legitimately leads the refilling log (appends
+  // below it are trimmed on admission, never delivered). In-range
+  // restores delegate to Seek and keep its below-base check.
+  virtual Status RestoreOffset(const std::string& consumer, size_t offset);
 
   // The consumer's committed offset, or nullopt for consumers that never
   // subscribed/polled/sought. The distinction matters for recovery: a
@@ -70,13 +119,57 @@ class EventQueue {
     return offsets_.contains(consumer);
   }
 
-  size_t size() const { return log_.size(); }
+  // Total elements ever appended (absolute offset of the next append).
+  // `size() - OffsetOf(c)` is consumer c's backlog whether or not the
+  // queue has been trimmed.
+  size_t size() const { return base_ + log_.size(); }
+  // Elements currently retained in memory.
+  size_t depth() const { return log_.size(); }
+  // Absolute offset of the oldest retained element.
+  size_t base_offset() const { return base_; }
+  // Timestamp of the newest element ever appended (epoch when none).
+  Timestamp MaxTimestamp() const { return log_.MaxTimestamp(); }
   const PropertyGraphStream& log() const { return log_; }
+  const Options& options() const { return options_; }
+
+  // Drops retained entries below min(every committed consumer offset,
+  // checkpoint horizon). Returns the number trimmed. Runs automatically
+  // on produce when the queue is bounded; harmless to call at any time.
+  size_t TrimCommitted();
+
+  // Retention floor installed by a CheckpointManager: entries at offsets
+  // >= the horizon are not yet covered by a durable checkpoint, so
+  // TrimCommitted keeps them even once consumed (recovery re-seeks to the
+  // last checkpointed offsets). Default: no durability constraint.
+  void SetCheckpointHorizon(size_t offset) { checkpoint_horizon_ = offset; }
+  size_t checkpoint_horizon() const { return checkpoint_horizon_; }
+
+  // Overflow accounting (exact; see the chaos tests' partition invariant).
+  int64_t shed_total() const { return shed_total_; }
+  int64_t rejected_total() const { return rejected_total_; }
+  int64_t trimmed_total() const { return trimmed_total_; }
+  int64_t blocked_produces_total() const { return blocked_produces_total_; }
+  int64_t blocked_millis_total() const { return blocked_millis_total_; }
 
  private:
+  // Enforces the capacity bound for one incoming element.
+  Status AdmitOne();
+  // Evicts the oldest retained element (shed_oldest policy).
+  void ShedOldest();
+
   PropertyGraphStream log_;
   std::map<std::string, size_t> offsets_;
   const Clock* clock_ = Clock::Steady();
+  Options options_;
+  ShedCallback shed_callback_;
+  // Absolute offset of log_.at(0): log_ stores offsets [base_, size()).
+  size_t base_ = 0;
+  size_t checkpoint_horizon_ = static_cast<size_t>(-1);
+  int64_t shed_total_ = 0;
+  int64_t rejected_total_ = 0;
+  int64_t trimmed_total_ = 0;
+  int64_t blocked_produces_total_ = 0;
+  int64_t blocked_millis_total_ = 0;
 };
 
 }  // namespace seraph

@@ -13,15 +13,26 @@ Status PropertyGraphStream::Append(PropertyGraph graph, Timestamp timestamp,
 Status PropertyGraphStream::Append(std::shared_ptr<const PropertyGraph> graph,
                                    Timestamp timestamp,
                                    int64_t arrival_micros) {
-  if (!elements_.empty() && timestamp < elements_.back().timestamp) {
+  if (has_elements_ && timestamp < last_timestamp_) {
     return Status::OutOfRange(
         "stream timestamps must be non-decreasing: got " +
-        timestamp.ToString() + " after " +
-        elements_.back().timestamp.ToString());
+        timestamp.ToString() + " after " + last_timestamp_.ToString());
   }
   elements_.push_back(StreamElement{std::move(graph), timestamp,
                                     arrival_micros});
+  last_timestamp_ = timestamp;
+  has_elements_ = true;
   return Status::OK();
+}
+
+void PropertyGraphStream::DropFront(size_t n) {
+  if (n == 0) return;
+  if (n >= elements_.size()) {
+    elements_.clear();
+    return;
+  }
+  elements_.erase(elements_.begin(),
+                  elements_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 std::vector<StreamElement> PropertyGraphStream::Substream(

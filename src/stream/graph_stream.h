@@ -48,11 +48,16 @@ class PropertyGraphStream {
   const StreamElement& at(size_t i) const { return elements_[i]; }
   const std::vector<StreamElement>& elements() const { return elements_; }
 
-  // Timestamp of the last element (kOutOfRange-like sentinel: epoch when
-  // empty).
-  Timestamp MaxTimestamp() const {
-    return elements_.empty() ? Timestamp() : elements_.back().timestamp;
-  }
+  // Timestamp of the last element ever appended (epoch when none was).
+  // Survives DropFront so the non-decreasing check and watermark math
+  // keep working on a retention-trimmed log.
+  Timestamp MaxTimestamp() const { return last_timestamp_; }
+
+  // Drops the first `n` elements (retention trim; bounded-ingest queues
+  // trim entries every consumer has committed past). The non-decreasing
+  // append invariant is preserved: it is checked against the last
+  // *appended* timestamp, not the last retained one.
+  void DropFront(size_t n);
 
   // The substream S_τ: elements whose timestamps fall in `interval` under
   // `bounds` (Def. 5.3 with the bounds policy of DESIGN.md §2).
@@ -65,6 +70,8 @@ class PropertyGraphStream {
 
  private:
   std::vector<StreamElement> elements_;
+  Timestamp last_timestamp_;
+  bool has_elements_ = false;
 };
 
 }  // namespace seraph

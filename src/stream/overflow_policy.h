@@ -1,0 +1,56 @@
+// Producer-side overflow policies for bounded stream containers.
+//
+// Shared by `EventQueue` (bounded ingest log) and `ReorderBuffer`
+// (bounded pending set). docs/INTERNALS.md "Overload & backpressure"
+// documents the policy matrix.
+#ifndef SERAPH_STREAM_OVERFLOW_POLICY_H_
+#define SERAPH_STREAM_OVERFLOW_POLICY_H_
+
+#include <string>
+
+namespace seraph {
+
+enum class OverflowPolicy {
+  // Producer waits (bounded, against the injectable clock) for space to
+  // open up; expires to kUnavailable. In containers with no one to wait
+  // for (ReorderBuffer), block degrades to reject.
+  kBlock,
+  // Producer gets kUnavailable immediately; retry via RetryPolicy.
+  kReject,
+  // Oldest unconsumed element is evicted (counted + dead-lettered) to
+  // admit the new one.
+  kShedOldest,
+};
+
+inline const char* OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kReject:
+      return "reject";
+    case OverflowPolicy::kShedOldest:
+      return "shed_oldest";
+  }
+  return "unknown";
+}
+
+// Parses "block" / "reject" / "shed_oldest"; returns false on anything else.
+inline bool ParseOverflowPolicy(const std::string& text, OverflowPolicy* out) {
+  if (text == "block") {
+    *out = OverflowPolicy::kBlock;
+    return true;
+  }
+  if (text == "reject") {
+    *out = OverflowPolicy::kReject;
+    return true;
+  }
+  if (text == "shed_oldest") {
+    *out = OverflowPolicy::kShedOldest;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace seraph
+
+#endif  // SERAPH_STREAM_OVERFLOW_POLICY_H_

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -88,6 +90,42 @@ TEST(StringsTest, StripAndCase) {
   EXPECT_EQ(AsciiUpper("abC"), "ABC");
   EXPECT_TRUE(StartsWith("seraph", "ser"));
   EXPECT_FALSE(StartsWith("se", "ser"));
+}
+
+TEST(CancellationTokenTest, ExpiresWhenTheClockPassesTheDeadline) {
+  ManualClock clock(0);
+  CancellationToken token(&clock, /*deadline_micros=*/1000);
+  EXPECT_FALSE(token.Expired());
+  EXPECT_TRUE(token.Check().ok());
+  clock.Set(1000);  // Deadline is inclusive: now >= deadline expires.
+  // The strided clock read re-checks at most kCheckStride calls later.
+  bool expired = false;
+  for (int i = 0; i <= CancellationToken::kCheckStride && !expired; ++i) {
+    expired = token.Expired();
+  }
+  EXPECT_TRUE(expired);
+  // Sticky: every later check fails immediately, whatever the clock says.
+  clock.Set(0);
+  EXPECT_TRUE(token.Expired());
+  Status s = token.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(s.IsTransient());  // Rides the error-budget path, not retry.
+}
+
+TEST(CancellationTokenTest, CancelTripsWithoutTheClock) {
+  ManualClock clock(0);
+  CancellationToken token(&clock, /*deadline_micros=*/1'000'000);
+  EXPECT_TRUE(token.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, DeadlineExceededCodeAndFactory) {
+  Status s = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "deadline_exceeded: too slow");
+  EXPECT_FALSE(s.IsTransient());
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Pattern-matching semantics: match(π, G, u) of Section 3.2.
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
+#include "common/clock.h"
 #include "cypher/executor.h"
 #include "cypher/parser.h"
 #include "graph/graph_builder.h"
@@ -241,6 +243,23 @@ TEST(MatcherTest, OptionalMatchWhereParticipates) {
                 "RETURN n.name, m.name");
   ASSERT_EQ(t.size(), 1u);
   EXPECT_TRUE(t.rows()[0].GetOrNull("m.name").is_null());
+}
+
+// An expired cancellation token aborts the match at the next seed /
+// expansion boundary with kDeadlineExceeded (docs/INTERNALS.md,
+// "Overload & backpressure" — evaluation deadlines).
+TEST(MatcherTest, ExpiredCancellationTokenAbortsTheMatch) {
+  ManualClock clock(/*now_micros=*/1'000'000);
+  CancellationToken token(&clock, /*deadline_micros=*/999'999);
+  auto parsed = ParseCypherQuery("MATCH (a)-[r]->(b) RETURN b");
+  ASSERT_TRUE(parsed.ok());
+  ExecutionOptions options;
+  options.cancellation = &token;
+  auto result = ExecuteQueryOnGraph(*parsed, Triangle(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Without a token the same query succeeds — the deadline is opt-in.
+  EXPECT_EQ(RunQuery(Triangle(), "MATCH (a)-[r]->(b) RETURN b").size(), 3u);
 }
 
 }  // namespace

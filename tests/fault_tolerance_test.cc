@@ -14,8 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <sstream>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/fault.h"
 #include "fault_doubles.h"
 #include "graph/graph_builder.h"
@@ -625,6 +628,200 @@ TEST_F(FaultToleranceTest, LateFloodIsCountedNotDelivered) {
   // stable across Finish.
   EXPECT_EQ(engine.stream().size(), 1u);
   EXPECT_EQ(driver.dropped(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos: bounded ingest with backpressure under injected faults
+// (docs/INTERNALS.md, "Overload & backpressure")
+// ---------------------------------------------------------------------------
+
+// Sustained over-capacity ingest into a 5-slot queue with produce, poll,
+// and delivery faults armed. The producer relieves backpressure by
+// pumping the consumer whenever a produce is refused (the same loop
+// seraph_run and latency_harness use). The contract, per policy:
+//  * block / reject — nothing is lost: the engine receives every element
+//    exactly once and the results match the unbounded fault-free oracle
+//    bit-identically;
+//  * shed_oldest — delivered ∪ shed partitions the input exactly; every
+//    eviction is accounted and surfaced through the shed callback.
+void OverloadChaosRun(OverflowPolicy policy, uint64_t seed) {
+  SCOPED_TRACE("policy=" + std::string(OverflowPolicyName(policy)) +
+               " seed=" + std::to_string(seed));
+  const int kEvents = 40;
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Reset();  // The oracle below must run fault-free.
+  TimeVaryingTable expected = FaultFreeOracle(kEvents);
+
+  fi.Seed(seed);
+  fi.ArmProbability("queue.produce", 0.2);
+  fi.ArmProbability("queue.poll", 0.15);
+  fi.ArmProbability("driver.deliver", 0.2);
+
+  EventQueue::Options queue_options;
+  queue_options.capacity = 5;
+  queue_options.overflow_policy = policy;
+  EventQueue queue(queue_options);
+  ManualClock clock(0);
+  queue.SetClock(&clock);  // `block` waits in virtual time: never hangs.
+  std::vector<Timestamp> shed;
+  queue.SetShedCallback(
+      [&](const StreamElement& e) { shed.push_back(e.timestamp); });
+
+  DeadLetterQueue dlq;
+  EngineOptions engine_options;
+  engine_options.dead_letter = &dlq;
+  ContinuousEngine engine(engine_options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());
+  StreamDriver::Options options;
+  options.poll_batch = 3;
+  options.delivery_retry.max_attempts = 3;
+  options.element_error_budget = 1000;  // Chaos is transient; no poison.
+  options.dead_letter = &dlq;
+  StreamDriver driver(&queue, &engine, options);
+
+  // Over-capacity production with the backpressure loop.
+  for (int i = 0; i < kEvents; ++i) {
+    bool produced = false;
+    for (int attempt = 0; attempt < 10'000 && !produced; ++attempt) {
+      Status s = queue.Produce(Item(i + 1), T(1 + 2 * i));
+      if (s.ok()) {
+        produced = true;
+        break;
+      }
+      ASSERT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+      auto pumped = driver.PumpAll();
+      if (!pumped.ok()) {
+        EXPECT_TRUE(pumped.status().IsTransient());
+      }
+    }
+    ASSERT_TRUE(produced) << "event " << i << " never admitted";
+  }
+  // Drain the tail through the remaining faults.
+  bool done = false;
+  for (int i = 0; i < 10'000 && !done; ++i) {
+    auto pumped = driver.PumpAll();
+    if (!pumped.ok()) {
+      EXPECT_TRUE(pumped.status().IsTransient());
+      continue;
+    }
+    done = engine.stream().size() + shed.size() ==
+           static_cast<size_t>(kEvents);
+  }
+  ASSERT_TRUE(done) << "overload chaos run did not converge";
+  for (int i = 0; i < 1000; ++i) {
+    if (driver.Finish().ok()) break;
+  }
+
+  // Exact accounting: the shed callback saw precisely shed_total
+  // evictions, and delivered ∪ shed partitions the input.
+  EXPECT_EQ(static_cast<int64_t>(shed.size()), queue.shed_total());
+  ASSERT_EQ(engine.stream().size() + shed.size(),
+            static_cast<size_t>(kEvents));
+  std::multiset<int64_t> seen;
+  for (size_t i = 0; i < engine.stream().size(); ++i) {
+    seen.insert(engine.stream().at(i).timestamp.millis());
+  }
+  for (const Timestamp& t : shed) seen.insert(t.millis());
+  std::multiset<int64_t> produced_all;
+  for (int i = 0; i < kEvents; ++i) produced_all.insert(T(1 + 2 * i).millis());
+  EXPECT_EQ(seen, produced_all);
+
+  if (policy == OverflowPolicy::kShedOldest) {
+    EXPECT_EQ(queue.rejected_total(), 0);
+  } else {
+    // Loss-free policies: delivered results are bit-identical to the
+    // unbounded fault-free oracle.
+    EXPECT_TRUE(shed.empty());
+    EXPECT_EQ(queue.shed_total(), 0);
+    EXPECT_EQ(engine.stream().size(), static_cast<size_t>(kEvents));
+    EXPECT_EQ(driver.delivered_total(), kEvents);
+    ExpectSameResults(sink.ResultsFor("q"), expected);
+  }
+  // Memory stayed bounded: the queue never retained more than capacity.
+  EXPECT_LE(queue.depth(), queue_options.capacity);
+}
+
+// SERAPH_FAULT_SEED pins the run to one seed (same override as the
+// delivery chaos tests); otherwise each policy runs seeds 1..3.
+std::vector<uint64_t> OverloadSeeds() {
+  if (const char* env = std::getenv("SERAPH_FAULT_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 2, 3};
+}
+
+TEST_F(FaultToleranceTest, OverloadChaosBlockPolicyMatchesOracle) {
+  for (uint64_t seed : OverloadSeeds()) {
+    OverloadChaosRun(OverflowPolicy::kBlock, seed);
+  }
+}
+
+TEST_F(FaultToleranceTest, OverloadChaosRejectPolicyMatchesOracle) {
+  for (uint64_t seed : OverloadSeeds()) {
+    OverloadChaosRun(OverflowPolicy::kReject, seed);
+  }
+}
+
+TEST_F(FaultToleranceTest, OverloadChaosShedOldestPartitionsInput) {
+  for (uint64_t seed : OverloadSeeds()) {
+    OverloadChaosRun(OverflowPolicy::kShedOldest, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation deadlines through the isolation path
+// ---------------------------------------------------------------------------
+
+constexpr char kSlowQuery[] = R"(
+  REGISTER QUERY slow STARTING AT '1970-01-01T00:05'
+  { MATCH (n:X) WITHIN PT30M EMIT n.id SNAPSHOT EVERY PT5M })";
+
+// A deadline overrun is not transient: it burns the query's error budget
+// and disables it through the same isolation path as evaluation errors,
+// while the rest of the fleet's output is unchanged. The overrun is
+// injected via the "eval.deadline" fault point (armed only when a
+// deadline is configured), re-coded by the engine as kDeadlineExceeded.
+TEST_F(FaultToleranceTest, EvalDeadlineDisablesOnlyTheOffendingQuery) {
+  const int kEvents = 12;
+  TimeVaryingTable expected = FaultFreeOracle(kEvents);
+
+  EngineOptions engine_options;
+  engine_options.eval_deadline_millis = 25;
+  engine_options.query_error_budget = 2;
+  DeadLetterQueue dlq;
+  engine_options.dead_letter = &dlq;
+  ContinuousEngine engine(engine_options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  ASSERT_TRUE(engine.RegisterText(kCountQuery).ok());  // "q", healthy.
+  ASSERT_TRUE(engine.RegisterText(kSlowQuery).ok());   // The victim.
+  // Per evaluation instant the batch runs q then slow; fire on hits 2
+  // and 4 — slow's first two evaluations — to exhaust its budget.
+  FaultInjector::Global().ArmSchedule("eval.deadline", {2, 4});
+
+  EventQueue queue;
+  ProduceEvents(&queue, kEvents);
+  StreamDriver driver(&queue, &engine, {});
+  ASSERT_TRUE(driver.PumpAll().ok());
+  ASSERT_TRUE(driver.Finish().ok());
+
+  // The offender is disabled with the deadline recorded...
+  EXPECT_TRUE(engine.QueryDisabled("slow"));
+  auto stats = engine.StatsFor("slow");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->eval_failures, 2);
+  EXPECT_EQ(stats->last_error.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(dlq.size(), 0u);  // The failed instants are dead-lettered.
+  // ...and the healthy query's output is bit-identical to a clean run.
+  EXPECT_FALSE(engine.QueryDisabled("q"));
+  ExpectSameResults(sink.ResultsFor("q"), expected);
+
+  // Revive: the deadline victim rejoins the fleet like any other
+  // budget-disabled query.
+  ASSERT_TRUE(engine.ReviveQuery("slow").ok());
+  EXPECT_FALSE(engine.QueryDisabled("slow"));
 }
 
 }  // namespace

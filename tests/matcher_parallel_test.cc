@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/clock.h"
 #include "common/thread_pool.h"
 #include "cypher/executor.h"
 #include "cypher/matcher.h"
@@ -267,6 +269,31 @@ TEST(MatcherParallelTest, EngineExportsMatchPartitionMetrics) {
                               {{"query", "q"}})
                 ->count(),
             1);
+}
+
+// The cancellation token is *shared* across morsel workers (the context
+// copy keeps it, unlike the parallelism spec): an expired deadline
+// aborts the whole parallel match with kDeadlineExceeded at every
+// thread count, not just the serial path.
+TEST(MatcherParallelTest, ExpiredTokenAbortsAllMorselWorkers) {
+  PropertyGraph graph = RandomGraph(/*seed=*/1, /*num_nodes=*/120,
+                                    /*num_rels=*/240);
+  auto parsed = ParseCypherQuery("MATCH (a:A)-[r1]->(b), (b)-[r2]->(c) "
+                                 "RETURN a, b, c");
+  ASSERT_TRUE(parsed.ok());
+  ManualClock clock(/*now_micros=*/1'000'000);
+  CancellationToken token(&clock, /*deadline_micros=*/999'999);
+  ThreadPool pool(4);
+  MatchParallelism par;
+  par.pool = &pool;
+  par.min_seeds = 1;
+  par.morsel_size = 7;
+  ExecutionOptions options;
+  options.match_parallelism = &par;
+  options.cancellation = &token;
+  auto result = ExecuteQueryOnGraph(*parsed, graph, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

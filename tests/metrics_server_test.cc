@@ -178,6 +178,41 @@ TEST(MetricsServerTest, QueriesEndpointReflectsDisabledQuery) {
   EXPECT_EQ(revived.find("\"disabled\":true"), std::string::npos) << revived;
 }
 
+// Regression: the serve loop handles one client at a time, so a client
+// that connects and then sends nothing used to wedge every subsequent
+// scraper behind a blocking recv. With the per-connection IO deadline
+// the stalled connection is abandoned, counted, and the next real
+// request is served.
+TEST(MetricsServerTest, SlowClientCannotWedgeTheServeLoop) {
+  MetricsRegistry registry;
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  options.io_timeout_millis = 100;  // Short: the test waits this out.
+  MetricsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Connect-and-hang: open the socket, send nothing, keep it open.
+  int hang_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(hang_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(hang_fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+
+  // A real scraper right behind it must still get through: the server
+  // abandons the stalled connection at the deadline and moves on.
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_GE(server.connections_timed_out(), 1);
+
+  close(hang_fd);
+  server.Stop();
+}
+
 // Without a queries_json callback the endpoint degrades to an empty
 // array rather than failing.
 TEST(MetricsServerTest, QueriesDefaultsToEmptyArray) {

@@ -122,5 +122,151 @@ TEST(EventQueueTest, UnknownConsumerStartsAtZero) {
   EXPECT_TRUE(q.HasConsumer("fresh"));
 }
 
+// ---------------------------------------------------------------------------
+// Bounded queue: overflow policies, retention trim, absolute offsets
+// (docs/INTERNALS.md, "Overload & backpressure")
+// ---------------------------------------------------------------------------
+
+EventQueue::Options Bounded(size_t capacity, OverflowPolicy policy) {
+  EventQueue::Options options;
+  options.capacity = capacity;
+  options.overflow_policy = policy;
+  return options;
+}
+
+TEST(BoundedEventQueueTest, RejectPolicyRefusesWhenFull) {
+  EventQueue q(Bounded(2, OverflowPolicy::kReject));
+  q.Subscribe("c");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  Status full = q.Produce(Tiny(3), T(3));
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(q.rejected_total(), 1);
+  EXPECT_EQ(q.size(), 2u);  // A failed produce admits nothing.
+  // Once the consumer commits past the retained entries, the next
+  // produce trims them and succeeds: memory tracks lag, not history.
+  EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
+  ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());
+  EXPECT_EQ(q.trimmed_total(), 2);
+  EXPECT_EQ(q.base_offset(), 2u);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.size(), 3u);  // Absolute: offsets are never renumbered.
+  auto replay = q.Poll("c", 10);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->size(), 1u);
+  EXPECT_EQ((*replay)[0].timestamp, T(3));
+}
+
+TEST(BoundedEventQueueTest, ShedOldestEvictsAndAccountsExactly) {
+  EventQueue q(Bounded(2, OverflowPolicy::kShedOldest));
+  std::vector<Timestamp> shed;
+  q.SetShedCallback(
+      [&](const StreamElement& e) { shed.push_back(e.timestamp); });
+  q.Subscribe("c");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());  // Evicts T(1).
+  EXPECT_EQ(q.shed_total(), 1);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], T(1));
+  // Delivered ∪ shed partitions the input exactly: the consumer sees
+  // precisely the two survivors, from the bumped base offset.
+  auto delivered = q.Poll("c", 10);
+  ASSERT_TRUE(delivered.ok());
+  ASSERT_EQ(delivered->size(), 2u);
+  EXPECT_EQ((*delivered)[0].timestamp, T(2));
+  EXPECT_EQ((*delivered)[1].timestamp, T(3));
+  EXPECT_EQ(delivered->size() + shed.size(), 3u);
+}
+
+TEST(BoundedEventQueueTest, BlockPolicyWaitsInVirtualTime) {
+  ManualClock clock(/*start_micros=*/0);
+  EventQueue q(Bounded(1, OverflowPolicy::kBlock));
+  q.SetClock(&clock);
+  q.Subscribe("c");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  // Nothing can free space (single-threaded, consumer idle): the blocked
+  // produce accounts its bounded wait in virtual time — the pinned clock
+  // never advances, so each attempt counts one virtual millisecond and
+  // the call returns instead of hanging.
+  Status full = q.Produce(Tiny(2), T(2));
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(q.blocked_produces_total(), 1);
+  EXPECT_GE(q.blocked_millis_total(), q.options().block_timeout_millis);
+  EXPECT_EQ(q.rejected_total(), 1);
+  // After the consumer commits, a blocked produce finds space via trim.
+  EXPECT_EQ(q.Poll("c", 10)->size(), 1u);
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  EXPECT_EQ(q.blocked_produces_total(), 1);  // No wait was needed.
+}
+
+TEST(BoundedEventQueueTest, CheckpointHorizonHoldsUncommittedSuffix) {
+  EventQueue q;
+  q.Subscribe("c");
+  for (int64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(q.Produce(Tiny(i), T(i)).ok());
+  }
+  EXPECT_EQ(q.Poll("c", 10)->size(), 3u);
+  // The consumer is at 3, but only offsets < 1 are durably checkpointed:
+  // the replay suffix [1, 3) must stay retained.
+  q.SetCheckpointHorizon(1);
+  EXPECT_EQ(q.TrimCommitted(), 1u);
+  EXPECT_EQ(q.base_offset(), 1u);
+  EXPECT_EQ(q.depth(), 2u);
+  // A later commit advances the horizon and releases the rest.
+  q.SetCheckpointHorizon(3);
+  EXPECT_EQ(q.TrimCommitted(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.size(), 3u);
+  // MaxTimestamp survives a trim-to-empty, and append order is still
+  // enforced against the last appended element, not the retained ones.
+  EXPECT_EQ(q.MaxTimestamp(), T(3));
+  EXPECT_EQ(q.Produce(Tiny(9), T(2)).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(q.Produce(Tiny(4), T(4)).ok());
+}
+
+TEST(BoundedEventQueueTest, SeekBelowRetentionBaseFails) {
+  EventQueue q(Bounded(2, OverflowPolicy::kShedOldest));
+  q.Subscribe("c");
+  for (int64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(q.Produce(Tiny(i), T(i)).ok());
+  }
+  Status below = q.Seek("c", 0);  // T(1) was shed; its offset is gone.
+  EXPECT_EQ(below.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(q.Seek("c", q.base_offset()).ok());
+  EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
+}
+
+TEST(BoundedEventQueueTest, RestoreOffsetMayLeadTheRefillingLog) {
+  // The recovery path of a bounded tool: the checkpointed offset is
+  // restored into an empty queue, then the event log is re-produced
+  // behind it — the prefix is trimmed on admission, never delivered.
+  EventQueue q(Bounded(2, OverflowPolicy::kReject));
+  ASSERT_TRUE(q.RestoreOffset("c", 5).ok());
+  for (int64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(q.Produce(Tiny(i), T(i)).ok());
+  }
+  auto suffix = q.Poll("c", 10);
+  ASSERT_TRUE(suffix.ok());
+  ASSERT_EQ(suffix->size(), 1u);
+  EXPECT_EQ((*suffix)[0].timestamp, T(6));
+  EXPECT_EQ(q.rejected_total(), 0);  // Trim always made room.
+}
+
+TEST(GraphStreamTest, DropFrontKeepsOrderAndMaxTimestamp) {
+  PropertyGraphStream s;
+  for (int64_t m : {10, 20, 30}) {
+    ASSERT_TRUE(s.Append(Tiny(m), T(m)).ok());
+  }
+  s.DropFront(2);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.at(0).timestamp, T(30));
+  EXPECT_EQ(s.MaxTimestamp(), T(30));
+  s.DropFront(5);  // Over-trim clears.
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.MaxTimestamp(), T(30));
+  EXPECT_EQ(s.Append(Tiny(1), T(20)).code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace seraph

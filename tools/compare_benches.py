@@ -8,9 +8,9 @@
 Two file shapes are understood, matched by name:
 
   * google-benchmark JSON (BENCH_match.json, BENCH_parallel_queries.json,
-    BENCH_recovery.json, BENCH_emit_latency.json): each benchmark's
-    real_time is compared by name; a fresh run slower than
-    `baseline * threshold` fails.
+    BENCH_recovery.json, BENCH_emit_latency.json, BENCH_overload.json):
+    each benchmark's real_time is compared by name; a fresh run slower
+    than `baseline * threshold` fails.
   * the latency harness's flat JSON (BENCH_latency.json): p50_us / p99_us
     / p999_us are compared against `baseline * latency-threshold`, and
     rate_achieved must stay above `baseline / latency-threshold`.

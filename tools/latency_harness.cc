@@ -4,6 +4,8 @@
 //   latency_harness [--rate=<events/sec>] [--duration-sec=<n>]
 //                   [--queries=<n>] [--out=<path>]
 //                   [--metrics-port=<p>] [--stats-interval=<sec>]
+//                   [--queue-capacity=<n>] [--overflow-policy=<policy>]
+//                   [--shed-lag-ms=<n>]
 //
 // The harness produces synthetic person-sighting events into an
 // EventQueue at a sustained target rate (paced against the wall clock,
@@ -19,6 +21,18 @@
 // latency-smoke job scrapes `seraph_emit_latency_micros` buckets
 // mid-flight. --stats-interval prints the one-line status
 // (in/out/p99/lag/dlq) every interval, like seraph_run.
+//
+// Overload protection (docs/INTERNALS.md, "Overload & backpressure"):
+// --queue-capacity bounds the EventQueue (0 = unbounded); a refused
+// produce pumps the driver and retries — the producer-side backpressure
+// loop CI's overload-soak job exercises at 2x a sustainable rate.
+// --overflow-policy picks block / reject / shed_oldest (shed elements
+// are dead-lettered and counted, never silently lost); --shed-lag-ms
+// arms the driver's degraded mode. The JSON report adds the overload
+// ledger (shed/rejected/trimmed/retries/degraded) and the process RSS so
+// CI can assert memory stays bounded under sustained overload.
+// SERAPH_QUEUE_CAPACITY / SERAPH_OVERFLOW_POLICY / SERAPH_SHED_LAG_MS
+// supply defaults for the corresponding flags.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +50,7 @@
 #include "seraph/stream_driver.h"
 #include "server/metrics_server.h"
 #include "stream/event_queue.h"
+#include "stream/overflow_policy.h"
 
 namespace {
 
@@ -44,6 +59,30 @@ using namespace seraph;
 int Fail(const std::string& message) {
   std::cerr << "latency_harness: " << message << "\n";
   return 1;
+}
+
+// Non-negative integer environment default for an overload knob;
+// malformed or negative values fall back.
+int64_t Int64FromEnvVar(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+// Resident set size in MiB from /proc/self/status (VmRSS), or -1 when
+// the file is unavailable. Good enough for CI's bounded-memory assert.
+double RssMb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;  // kB -> MiB.
+    }
+  }
+  return -1.0;
 }
 
 bool FlagValue(const std::string& arg, const std::string& prefix,
@@ -93,6 +132,14 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_latency.json";
   int metrics_port = -1;      // -1 = endpoint off; 0 = ephemeral.
   int stats_interval = 0;     // Seconds; 0 = off.
+  // Overload knobs: flag beats environment beats off/unbounded.
+  size_t queue_capacity =
+      static_cast<size_t>(Int64FromEnvVar("SERAPH_QUEUE_CAPACITY", 0));
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  if (const char* env = std::getenv("SERAPH_OVERFLOW_POLICY")) {
+    ParseOverflowPolicy(env, &overflow_policy);
+  }
+  int64_t shed_lag_ms = Int64FromEnvVar("SERAPH_SHED_LAG_MS", 0);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -120,19 +167,50 @@ int main(int argc, char** argv) {
       if (stats_interval <= 0) {
         return Fail("--stats-interval expects a positive second count");
       }
+    } else if (FlagValue(arg, "--queue-capacity=", &value)) {
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed <= 0) {
+        return Fail("--queue-capacity expects a positive element count");
+      }
+      queue_capacity = static_cast<size_t>(parsed);
+    } else if (FlagValue(arg, "--overflow-policy=", &value)) {
+      if (!ParseOverflowPolicy(value, &overflow_policy)) {
+        return Fail(
+            "--overflow-policy expects block, reject, or shed_oldest");
+      }
+    } else if (FlagValue(arg, "--shed-lag-ms=", &value)) {
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed < 0) {
+        return Fail("--shed-lag-ms expects a non-negative millisecond "
+                    "count (0 = off)");
+      }
+      shed_lag_ms = static_cast<int64_t>(parsed);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: latency_harness [--rate=<events/sec>] "
                    "[--duration-sec=<n>] [--queries=<n>]\n"
                    "                       [--out=<path>] "
-                   "[--metrics-port=<p>] [--stats-interval=<sec>]\n";
+                   "[--metrics-port=<p>] [--stats-interval=<sec>]\n"
+                   "                       [--queue-capacity=<n>] "
+                   "[--overflow-policy=<block|reject|shed_oldest>]\n"
+                   "                       [--shed-lag-ms=<n>]\n";
       return 0;
     } else {
       return Fail("unknown argument '" + arg + "' (see --help)");
     }
   }
 
-  EventQueue queue;
+  EventQueue::Options queue_options;
+  queue_options.capacity = queue_capacity;
+  queue_options.overflow_policy = overflow_policy;
+  EventQueue queue(queue_options);
   DeadLetterQueue dead_letters;
+  // Shed elements are a recorded loss, not a silent one.
+  queue.SetShedCallback([&](const StreamElement& element) {
+    dead_letters.AddElement("latency-harness", element,
+                            Status::Unavailable(
+                                "shed: event queue overflow (shed_oldest)"),
+                            /*attempts=*/0);
+  });
   EngineOptions options;
   options.dead_letter = &dead_letters;
   ContinuousEngine engine(options);
@@ -176,6 +254,7 @@ int main(int argc, char** argv) {
   driver_options.consumer = "latency-harness";
   driver_options.dead_letter = &dead_letters;
   driver_options.poll_batch = 256;
+  driver_options.shed_lag_millis = shed_lag_ms;
   queue.Subscribe(driver_options.consumer);
   StreamDriver driver(&queue, &engine, driver_options);
 
@@ -192,6 +271,7 @@ int main(int argc, char** argv) {
   // covers ~1 s of event time at the target rate.
   const double event_millis_per_event = 1000.0 / rate;
   int64_t produced = 0;
+  int64_t producer_retries = 0;
   int64_t next_stats_at = stats_interval;
   while (clock::now() < deadline) {
     const double elapsed_sec =
@@ -203,10 +283,18 @@ int main(int argc, char** argv) {
     while (produced < due) {
       const int64_t t_ms =
           1000 + static_cast<int64_t>(produced * event_millis_per_event);
-      if (Status s = queue.Produce(MakeEvent(produced),
-                                   Timestamp::FromMillis(t_ms));
-          !s.ok()) {
-        return Fail(s.ToString());
+      Status s = queue.Produce(MakeEvent(produced),
+                               Timestamp::FromMillis(t_ms));
+      if (!s.ok()) {
+        if (s.code() != StatusCode::kUnavailable) return Fail(s.ToString());
+        // Backpressure: the bounded queue refused the produce. Drain the
+        // consumer (its committed offset lets the retention trim free
+        // space) and retry the same event — the overload ledger, not the
+        // producer, records any loss.
+        ++producer_retries;
+        auto drained = driver.PumpAll();
+        if (!drained.ok()) return Fail(drained.status().ToString());
+        continue;
       }
       ++produced;
     }
@@ -238,13 +326,22 @@ int main(int argc, char** argv) {
   }
   const double achieved = static_cast<double>(produced) / wall_sec;
 
-  char line[512];
+  // The overload ledger: every element the bounded queue refused or
+  // evicted, and every one the degraded driver sampled out, is counted
+  // here (and dead-lettered) — delivered + shed partitions the input.
+  const int64_t shed_total = queue.shed_total() + driver.shed_total();
+  const double rss_mb = RssMb();
+
+  char line[640];
   std::snprintf(line, sizeof(line),
                 "events=%lld (%.0f/s target %.0f/s)  queries=%d  emits=%lld"
                 "  rows=%lld\n"
                 "emit latency (us): p50=%lld p99=%lld p999=%lld max=%lld"
                 "  samples=%lld\n"
-                "max lag: %lld ms  dead letters: %zu\n",
+                "max lag: %lld ms  dead letters: %zu\n"
+                "overload: shed=%lld rejected=%lld trimmed=%lld"
+                " producer_retries=%lld degraded_entries=%lld"
+                "  rss=%.1f MiB\n",
                 static_cast<long long>(produced), achieved, rate, queries,
                 static_cast<long long>(sink.emits()),
                 static_cast<long long>(sink.rows()),
@@ -254,7 +351,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(latency.max),
                 static_cast<long long>(latency.count),
                 static_cast<long long>(lag_max->value()),
-                dead_letters.size());
+                dead_letters.size(),
+                static_cast<long long>(shed_total),
+                static_cast<long long>(queue.rejected_total()),
+                static_cast<long long>(queue.trimmed_total()),
+                static_cast<long long>(producer_retries),
+                static_cast<long long>(driver.degraded_entries()),
+                rss_mb);
   std::cout << line;
 
   std::ofstream out(out_path);
@@ -273,7 +376,16 @@ int main(int argc, char** argv) {
       << "  \"p999_us\": " << latency.p999 << ",\n"
       << "  \"max_us\": " << latency.max << ",\n"
       << "  \"max_lag_ms\": " << lag_max->value() << ",\n"
-      << "  \"dead_letters\": " << dead_letters.size() << "\n"
+      << "  \"dead_letters\": " << dead_letters.size() << ",\n"
+      << "  \"queue_capacity\": " << queue_capacity << ",\n"
+      << "  \"overflow_policy\": \"" << OverflowPolicyName(overflow_policy)
+      << "\",\n"
+      << "  \"shed_total\": " << shed_total << ",\n"
+      << "  \"rejected_total\": " << queue.rejected_total() << ",\n"
+      << "  \"trimmed_total\": " << queue.trimmed_total() << ",\n"
+      << "  \"producer_retries\": " << producer_retries << ",\n"
+      << "  \"degraded_entries\": " << driver.degraded_entries() << ",\n"
+      << "  \"rss_mb\": " << rss_mb << "\n"
       << "}\n";
   std::cerr << "[latency_harness] wrote " << out_path << "\n";
   return 0;

@@ -3,7 +3,9 @@
 # (bench_match: pattern matching incl. morsel-parallel scaling;
 # bench_parallel_queries: inter-query scheduler scaling; bench_recovery:
 # checkpoint write cost vs. state size and recovery latency vs. replay
-# length; bench_emit_latency: the latency-stamping overhead guard) plus
+# length; bench_emit_latency: the latency-stamping overhead guard;
+# bench_overload: bounded-queue admission cost per overflow policy and
+# the degraded-mode catch-up pump) plus
 # the steady-state latency harness, and writes one BENCH_<name>.json per
 # binary for archiving as a CI artifact and diffing against the committed
 # baselines in bench/baselines/ (tools/compare_benches.py).
@@ -17,7 +19,8 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
-BENCHES=(bench_match bench_parallel_queries bench_recovery bench_emit_latency)
+BENCHES=(bench_match bench_parallel_queries bench_recovery bench_emit_latency
+         bench_overload)
 
 mkdir -p "${OUT_DIR}"
 for bench in "${BENCHES[@]}"; do

@@ -5,6 +5,8 @@
 //              [--progress=<n>] [--dead-letter=<path>] [--threads=<n>]
 //              [--match-threads=<n>] [--checkpoint-dir=<dir>]
 //              [--checkpoint-every=<n>] [--restore]
+//              [--queue-capacity=<n>] [--overflow-policy=<policy>]
+//              [--eval-deadline-ms=<n>] [--shed-lag-ms=<n>]
 //   seraph_run --inspect-checkpoint --checkpoint-dir=<dir>
 //
 // The query file holds one REGISTER QUERY statement; the event log uses
@@ -68,6 +70,32 @@
 //                     --checkpoint-dir (segments, sizes, CRC status,
 //                     streams, offsets, queries) and exit.
 //
+// Overload protection (docs/INTERNALS.md, "Overload & backpressure"):
+//   --queue-capacity=<n>  bound the durable EventQueue to <n> retained
+//                     elements (checkpoint mode only; default 0 =
+//                     unbounded). Retained means past the retention
+//                     horizon — delivered-and-checkpointed entries are
+//                     trimmed, so memory tracks consumer lag, not log
+//                     size. SERAPH_QUEUE_CAPACITY supplies the default.
+//   --overflow-policy=<block|reject|shed_oldest>  what a full queue does
+//                     to the producer (default block): block = bounded
+//                     wait for a trim, then reject; reject = fail the
+//                     produce (the tool pumps the consumer and retries);
+//                     shed_oldest = evict the oldest retained element,
+//                     dead-lettering it with exact accounting.
+//                     SERAPH_OVERFLOW_POLICY supplies the default.
+//   --eval-deadline-ms=<n>  cooperative per-evaluation deadline: an
+//                     evaluation that exceeds it is cancelled at the next
+//                     matcher boundary and fails with kDeadlineExceeded,
+//                     flowing through the isolation path (dead-letter,
+//                     error budget, disable). 0 = off (default).
+//                     SERAPH_EVAL_DEADLINE_MS supplies the default.
+//   --shed-lag-ms=<n>  degraded-mode threshold: when the delivered
+//                     horizon falls this many event-time ms behind the
+//                     newest queued event, the driver switches to larger
+//                     pump batches until lag halves. 0 = off (default).
+//                     SERAPH_SHED_LAG_MS supplies the default.
+//
 // Parallel evaluation (docs/INTERNALS.md, "Parallel evaluation"):
 //   --threads=<n>     evaluation worker threads: 1 = serial (default),
 //                     0 = one per hardware thread. Output is identical at
@@ -104,6 +132,7 @@
 #include "seraph/stream_driver.h"
 #include "server/metrics_server.h"
 #include "stream/event_queue.h"
+#include "stream/overflow_policy.h"
 
 namespace {
 
@@ -197,6 +226,17 @@ bool FlagValue(const std::string& arg, const std::string& prefix,
   if (arg.rfind(prefix, 0) != 0) return false;
   *value = arg.substr(prefix.size());
   return true;
+}
+
+// Non-negative integer environment default for an overload knob;
+// malformed or negative values fall back.
+int64_t Int64FromEnvVar(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) return fallback;
+  return static_cast<int64_t>(parsed);
 }
 
 void PrintProgressLine(const ContinuousEngine& engine,
@@ -304,6 +344,18 @@ int main(int argc, char** argv) {
   // beats SERAPH_MATCH_THREADS likewise.
   int eval_threads = EvalThreadsFromEnv(1);
   int match_threads = MatchThreadsFromEnv(1);
+  // Overload knobs: flag beats environment beats off. Environment-only
+  // values are ignored outside checkpoint mode (there is no queue to
+  // bound); explicit flags there are an error instead.
+  size_t queue_capacity =
+      static_cast<size_t>(Int64FromEnvVar("SERAPH_QUEUE_CAPACITY", 0));
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  if (const char* env = std::getenv("SERAPH_OVERFLOW_POLICY")) {
+    ParseOverflowPolicy(env, &overflow_policy);
+  }
+  int64_t eval_deadline_ms = EvalDeadlineMillisFromEnv(0);
+  int64_t shed_lag_ms = Int64FromEnvVar("SERAPH_SHED_LAG_MS", 0);
+  bool overload_flags_explicit = false;
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
     std::string value;
@@ -371,6 +423,37 @@ int main(int argc, char** argv) {
                     "(0 = hardware concurrency)");
       }
       eval_threads = static_cast<int>(parsed);
+    } else if (FlagValue(arg, "--queue-capacity=", &value)) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        return Fail("--queue-capacity expects a positive element count");
+      }
+      queue_capacity = static_cast<size_t>(parsed);
+      overload_flags_explicit = true;
+    } else if (FlagValue(arg, "--overflow-policy=", &value)) {
+      if (!ParseOverflowPolicy(value, &overflow_policy)) {
+        return Fail(
+            "--overflow-policy expects block, reject, or shed_oldest");
+      }
+      overload_flags_explicit = true;
+    } else if (FlagValue(arg, "--eval-deadline-ms=", &value)) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return Fail("--eval-deadline-ms expects a non-negative millisecond "
+                    "count (0 = off)");
+      }
+      eval_deadline_ms = static_cast<int64_t>(parsed);
+    } else if (FlagValue(arg, "--shed-lag-ms=", &value)) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return Fail("--shed-lag-ms expects a non-negative millisecond "
+                    "count (0 = off)");
+      }
+      shed_lag_ms = static_cast<int64_t>(parsed);
+      overload_flags_explicit = true;
     } else if (FlagValue(arg, "--match-threads=", &value)) {
       char* end = nullptr;
       long parsed = std::strtol(value.c_str(), &end, 10);
@@ -391,6 +474,10 @@ int main(int argc, char** argv) {
              "[--checkpoint-every=<n>] [--restore]\n"
              "                  [--metrics-port=<p>] "
              "[--stats-interval=<sec>]\n"
+             "                  [--queue-capacity=<n>] "
+             "[--overflow-policy=<block|reject|shed_oldest>]\n"
+             "                  [--eval-deadline-ms=<n>] "
+             "[--shed-lag-ms=<n>]\n"
              "       seraph_run --inspect-checkpoint "
              "--checkpoint-dir=<dir>\n";
       return 0;
@@ -411,6 +498,10 @@ int main(int argc, char** argv) {
   if (!checkpoint_dir.empty() && progress_every > 0) {
     return Fail("--progress is not supported with --checkpoint-dir; the "
                 "restore banner reports the replay backlog instead");
+  }
+  if (checkpoint_dir.empty() && overload_flags_explicit) {
+    return Fail("--queue-capacity/--overflow-policy/--shed-lag-ms bound "
+                "the durable event queue and require --checkpoint-dir");
   }
   if (positional.size() != 2) {
     return Fail("expected <query.seraph> <events.log> (see --help)");
@@ -451,6 +542,7 @@ int main(int argc, char** argv) {
   }
   options.eval_threads = eval_threads;
   options.match_threads = match_threads;
+  options.eval_deadline_millis = eval_deadline_ms;
   if (!checkpoint_dir.empty()) {
     options.checkpoint_every = checkpoint_every;
   }
@@ -504,10 +596,27 @@ int main(int argc, char** argv) {
     // consumer offset is a checkpointable position, commit a generation
     // at every batch barrier, and (with --restore) resume from the
     // newest valid one — replaying only the uncheckpointed suffix.
-    EventQueue queue;
-    for (const StreamElement& event : *events) {
-      if (Status s = queue.Produce(event.graph, event.timestamp); !s.ok()) {
-        return Fail(s.ToString());
+    EventQueue::Options queue_options;
+    queue_options.capacity = queue_capacity;
+    queue_options.overflow_policy = overflow_policy;
+    EventQueue queue(queue_options);
+    // Shed elements are a recorded loss, not a silent one: each eviction
+    // lands in the dead-letter queue with the overflow reason.
+    queue.SetShedCallback([&](const StreamElement& element) {
+      dead_letters.AddElement(kRunConsumer, element,
+                              Status::Unavailable(
+                                  "shed: event queue overflow (shed_oldest)"),
+                              /*attempts=*/0);
+    });
+    // Unbounded runs preload the whole log so the restore banner reports
+    // the true replay backlog; bounded runs produce after recovery, under
+    // backpressure, so the queue never exceeds its capacity.
+    if (queue_capacity == 0) {
+      for (const StreamElement& event : *events) {
+        if (Status s = queue.Produce(event.graph, event.timestamp);
+            !s.ok()) {
+          return Fail(s.ToString());
+        }
       }
     }
     persist::CheckpointOptions checkpoint_options;
@@ -536,22 +645,71 @@ int main(int argc, char** argv) {
     } else {
       queue.Subscribe(kRunConsumer);
     }
+    // Retention: entries below min(committed offsets, checkpoint horizon)
+    // are trimmed after each commit, so queue memory tracks consumer lag
+    // rather than log size. Bound AFTER recovery so the horizon starts at
+    // the restore point.
+    manager.ManageRetention(&queue);
     StreamDriver::Options driver_options;
     driver_options.consumer = kRunConsumer;
+    driver_options.shed_lag_millis = shed_lag_ms;
     if (options.dead_letter != nullptr) {
       driver_options.dead_letter = &dead_letters;
     }
     StreamDriver driver(&queue, &engine, driver_options);
+    size_t delivered = 0;
+    if (queue_capacity > 0) {
+      // Bounded ingest: a refused produce (queue full under block/reject)
+      // drains the consumer — advancing the committed offset and, at
+      // batch barriers, the checkpoint horizon — then retries. A retry
+      // that can free nothing means the capacity cannot cover the replay
+      // suffix between checkpoints; fail with the remedy.
+      for (const StreamElement& event : *events) {
+        int stalled_retries = 0;
+        while (true) {
+          Status s = queue.Produce(event.graph, event.timestamp);
+          if (s.ok()) break;
+          if (s.code() != StatusCode::kUnavailable) return Fail(s.ToString());
+          const int64_t trimmed_before = queue.trimmed_total();
+          auto drained = driver.PumpAll();
+          if (!drained.ok()) return Fail(drained.status().ToString());
+          delivered += *drained;
+          queue.TrimCommitted();
+          if (*drained == 0 && queue.trimmed_total() == trimmed_before) {
+            if (++stalled_retries >= 3) {
+              return Fail(
+                  "event queue full (capacity " +
+                  std::to_string(queue_capacity) +
+                  ") and the consumer cannot free space; increase "
+                  "--queue-capacity, lower --checkpoint-every, or use "
+                  "--overflow-policy=shed_oldest");
+            }
+          } else {
+            stalled_retries = 0;
+          }
+        }
+      }
+    }
     auto pumped = driver.PumpAll();
     if (!pumped.ok()) return Fail(pumped.status().ToString());
+    delivered += *pumped;
     if (Status s = driver.Finish(); !s.ok()) return Fail(s.ToString());
-    std::cerr << "[seraph_run] delivered " << *pumped << " event(s), "
+    std::cerr << "[seraph_run] delivered " << delivered << " event(s), "
               << manager.checkpoints_written() << " checkpoint(s) written"
               << " (last seq=" << manager.last_seq() << ")";
     if (manager.checkpoint_failures() > 0) {
       std::cerr << ", " << manager.checkpoint_failures() << " failed";
     }
     std::cerr << "\n";
+    if (queue_capacity > 0) {
+      std::cerr << "[seraph_run] queue: capacity " << queue_capacity
+                << " (policy " << OverflowPolicyName(overflow_policy)
+                << "), shed " << queue.shed_total() << ", rejected "
+                << queue.rejected_total() << ", trimmed "
+                << queue.trimmed_total() << ", driver shed "
+                << driver.shed_total() << ", degraded entries "
+                << driver.degraded_entries() << "\n";
+    }
   } else {
     size_t ingested = 0;
     for (const StreamElement& event : *events) {
