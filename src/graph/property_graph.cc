@@ -37,8 +37,16 @@ Status PropertyGraph::AddRelationship(RelId id, RelData data) {
         "relationship " + std::to_string(id.value) +
         " references a missing endpoint node");
   }
-  src_it->second.out.push_back(id);
-  trg_it->second.in.push_back(id);
+  // Adjacency lists are kept sorted by relationship id, so incident-edge
+  // traversal order is a function of graph *content*, not of insertion
+  // history. Incrementally-maintained and from-scratch window snapshots
+  // then enumerate matches in the same order — the invariant the delta
+  // matcher's bit-identical-order guarantee rests on.
+  auto sorted_insert = [id](std::vector<RelId>* list) {
+    list->insert(std::lower_bound(list->begin(), list->end(), id), id);
+  };
+  sorted_insert(&src_it->second.out);
+  sorted_insert(&trg_it->second.in);
   type_index_[data.type].insert(id);
   rels_.emplace(id, std::move(data));
   return Status::OK();

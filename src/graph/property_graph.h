@@ -111,7 +111,10 @@ class PropertyGraph {
 
   // ---- Indexes ----
 
-  // Relationships with src == id / trg == id, in insertion order.
+  // Relationships with src == id / trg == id, in ascending id order —
+  // content-determined, not insertion-ordered, so any two graphs with
+  // equal content traverse incident edges identically (the delta
+  // matcher's order guarantee depends on this).
   const std::vector<RelId>& OutRelationships(NodeId id) const;
   const std::vector<RelId>& InRelationships(NodeId id) const;
 

@@ -10,6 +10,7 @@
 #include "cypher/executor.h"
 #include "cypher/matcher.h"
 #include "graph/graph_union.h"
+#include "seraph/delta/delta_index.h"
 #include "seraph/seraph_parser.h"
 
 namespace seraph {
@@ -84,6 +85,14 @@ struct QueryMetricHandles {
   Histogram* lat_window = nullptr;   // Window + snapshot maintenance.
   Histogram* lat_match = nullptr;    // Clause evaluation + report policy.
   Histogram* lat_deliver = nullptr;  // Sink delivery.
+  // Delta matching (seraph/delta): evaluations served from the
+  // partial-match index, full executions taken while delta matching was
+  // enabled (ineligible query or invalidated index), index rebuilds, and
+  // the current index population.
+  Counter* delta_hits = nullptr;
+  Counter* delta_fallbacks = nullptr;
+  Counter* delta_rebuilds = nullptr;
+  Gauge* delta_entries = nullptr;
 };
 
 struct ContinuousEngine::QueryState {
@@ -130,6 +139,11 @@ struct ContinuousEngine::QueryState {
   // set by the scheduler per batch (non-null only when the batch leaves
   // spare workers) and read by this query's single evaluating worker.
   MatchParallelism match_par;
+  // Delta-matching index (seraph/delta); null when the query is not
+  // eligible or delta matching is disabled. Rebuilt lazily — never
+  // serialized into checkpoints — and invalidated on evaluation failure,
+  // restore, and revive.
+  std::unique_ptr<DeltaIndex> delta;
 };
 
 namespace {
@@ -192,6 +206,11 @@ QueryMetricHandles MakeQueryMetrics(MetricsRegistry* registry,
   m.lat_window = lat_stage("window");
   m.lat_match = lat_stage("match");
   m.lat_deliver = lat_stage("deliver");
+  m.delta_hits = registry->CounterFor("seraph_delta_hits_total", q);
+  m.delta_fallbacks =
+      registry->CounterFor("seraph_delta_fallbacks_total", q);
+  m.delta_rebuilds = registry->CounterFor("seraph_delta_rebuilds_total", q);
+  m.delta_entries = registry->GaugeFor("seraph_delta_index_entries", q);
   return m;
 }
 
@@ -327,6 +346,8 @@ Status ContinuousEngine::ReviveQuery(const std::string& name) {
   state->disabled = false;
   state->consecutive_failures = 0;
   state->metrics.disabled->Set(0);
+  // The index missed every advance while the query was disabled.
+  if (state->delta != nullptr) state->delta->Invalidate();
   return Status::OK();
 }
 
@@ -442,6 +463,15 @@ Status ContinuousEngine::Register(RegisteredQuery query) {
   }
   state->query = std::move(query);
   state->metrics = MakeQueryMetrics(&metrics_, state->query.name);
+  // Delta matching needs the snapshotter dirty sets as its repair input,
+  // so it only engages alongside incremental snapshots. The MatchClause
+  // pointer stays valid: EvaluateAt's clause-vector move transfers the
+  // heap buffer without relocating elements.
+  if (options_.delta_matching && options_.incremental_snapshots &&
+      DeltaIndex::Eligible(state->query)) {
+    state->delta = std::make_unique<DeltaIndex>(
+        std::get_if<MatchClause>(&state->query.clauses[0]));
+  }
   // Emit-latency cursors start at the streams' current sizes: elements
   // ingested before the query existed are not part of its latency SLO.
   for (const auto& [key, ws] : state->windows) {
@@ -842,6 +872,9 @@ Status ContinuousEngine::RestoreFrom(const EngineCheckpoint& checkpoint) {
     for (auto& [stream_name, cursor] : state->latency_cursors) {
       cursor = FindStreamOrEmpty(stream_name)->size();
     }
+    // Delta state is never serialized; the first post-restore evaluation
+    // rebuilds the index against the re-derived snapshot.
+    if (state->delta != nullptr) state->delta->Invalidate();
   }
   clock_ = checkpoint.clock;
   clock_started_ = checkpoint.clock_started;
@@ -976,6 +1009,11 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
     const int64_t snap_start = TraceRecorder::NowMicros();
     if (ws.snapshotter != nullptr) {
       SERAPH_RETURN_IF_ERROR(ws.snapshotter->Advance(effective));
+      // Churn-proportional repair of the partial-match index from this
+      // advance's dirty sets (eligible queries have exactly one window).
+      if (state->delta != nullptr) {
+        state->delta->ObserveAdvance(*ws.snapshotter);
+      }
       snapshots[key] = &ws.snapshotter->graph();
       ++state->stats.snapshots_incremental;
       state->metrics.snapshots_incremental->Increment();
@@ -1079,17 +1117,77 @@ Status ContinuousEngine::EvaluateAt(QueryState* state, Timestamp t,
                            options_.eval_deadline_millis * 1000);
       exec.cancellation = &*deadline;
     }
-    // Share the clause/projection structures without copying expression
-    // trees: move them into a temporary SingleQuery and back (the
-    // executor only reads).
-    SingleQuery single;
-    single.clauses = std::move(state->query.clauses);
-    single.ret.body = std::move(state->query.projection);
-    auto result = ExecuteSingleQuery(single, resolver, Table::Unit(), exec);
-    state->query.clauses = std::move(single.clauses);
-    state->query.projection = std::move(single.ret.body);
-    if (!result.ok()) return result.status();
-    current = std::move(result).value();
+    bool delta_served = false;
+    if (state->delta != nullptr) {
+      // Delta path: the MATCH-stage output comes from the partial-match
+      // index (already repaired in stage 1), so only the projection runs
+      // here. Any failure on this path is a normal evaluation failure —
+      // no silent fallback within the instant — and additionally
+      // invalidates the index (it may be mid-repair).
+      IncrementalSnapshotter* snap =
+          state->windows.begin()->second.snapshotter.get();
+      const int64_t delta_start = TraceRecorder::NowMicros();
+      const bool rebuilt = !state->delta->valid();
+      Status delta_status =
+          rebuilt ? state->delta->Build(*base, snap->stats().advances, exec)
+                  : Status::OK();
+      if (delta_status.ok() && rebuilt) {
+        state->metrics.delta_rebuilds->Increment();
+      }
+      if (delta_status.ok()) {
+        auto matched = state->delta->Emit(*base, exec);
+        if (matched.ok()) {
+          SingleQuery single;  // Empty clauses: projection only.
+          single.ret.body = std::move(state->query.projection);
+          auto result = ExecuteSingleQuery(single, resolver,
+                                           std::move(matched).value(), exec);
+          state->query.projection = std::move(single.ret.body);
+          if (!result.ok()) {
+            state->delta->Invalidate();
+            return result.status();
+          }
+          current = std::move(result).value();
+          delta_served = true;
+          state->metrics.delta_hits->Increment();
+          state->metrics.delta_entries->Set(
+              static_cast<int64_t>(state->delta->size()));
+          if (tracer != nullptr) {
+            tracer->AddComplete(
+                "delta", "engine", delta_start,
+                TraceRecorder::NowMicros() - delta_start,
+                {{"query", state->query.name},
+                 {"mode", rebuilt ? "rebuild" : "incremental"},
+                 {"entries", std::to_string(state->delta->size())}});
+          }
+        } else {
+          delta_status = matched.status();
+        }
+      }
+      if (!delta_status.ok()) {
+        state->delta->Invalidate();
+        return delta_status;
+      }
+    }
+    if (!delta_served) {
+      // Full execution. Counted as a delta fallback when delta matching
+      // is on but could not serve this query (ineligible shape).
+      if (options_.delta_matching) {
+        state->metrics.delta_fallbacks->Increment();
+      }
+      // Share the clause/projection structures without copying expression
+      // trees: move them into a temporary SingleQuery and back (the
+      // executor only reads).
+      SingleQuery single;
+      single.clauses = std::move(state->query.clauses);
+      single.ret.body = std::move(state->query.projection);
+      auto result = ExecuteSingleQuery(single, resolver, Table::Unit(), exec);
+      state->query.clauses = std::move(single.clauses);
+      state->query.projection = std::move(single.ret.body);
+      if (!result.ok()) return result.status();
+      current = std::move(result).value();
+    }
+    // Delta and full executions keep identical persisted stats, so a
+    // checkpoint replay is byte-exact regardless of which path ran.
     ++state->stats.fresh_executions;
     state->metrics.reuse_misses->Increment();
     state->metrics.match_rows->Increment(
@@ -1239,6 +1337,10 @@ void ContinuousEngine::HandleEvalFailure(QueryState* state, Timestamp t,
   // could never trip). Invalidate the precondition: the next instant must
   // re-execute.
   for (auto& [key, ws] : state->windows) ws.has_last_range = false;
+  // Same reasoning for the partial-match index: the failed evaluation may
+  // have left it mid-repair, and stage 1 already consumed this advance's
+  // dirty sets — rebuild from scratch next time.
+  if (state->delta != nullptr) state->delta->Invalidate();
   ++state->stats.eval_failures;
   state->metrics.eval_failures->Increment();
   SERAPH_LOG(WARNING) << "evaluation of query '" << state->query.name

@@ -95,6 +95,13 @@ struct EngineOptions {
   // since the previous evaluation (and the query is window-content
   // deterministic) — ablated in bench_result_reuse.
   bool reuse_unchanged_windows = true;
+  // Delta matching (docs/INTERNALS.md, "Incremental evaluation"): for
+  // eligible single-pattern EMIT queries, keep a per-query partial-match
+  // index synchronized with the snapshotter's dirty sets so an
+  // evaluation costs work proportional to the window churn instead of
+  // the window size — ablated in bench_delta. Requires
+  // incremental_snapshots (the dirty sets are the repair input).
+  bool delta_matching = true;
   // Greedy MATCH join-order optimization — ablated in bench_match.
   bool optimize_match_order = true;
   std::map<std::string, Value> parameters;

@@ -1,0 +1,151 @@
+// Delta matching (docs/INTERNALS.md, "Incremental evaluation"): a
+// per-query partial-match index that keeps the MATCH-stage output of one
+// fixed-length pattern synchronized with the sliding window's snapshot
+// graph, so each evaluation costs work proportional to the window *churn*
+// (the snapshotter's dirty sets) instead of the window *size*.
+//
+// The index stores every current match of the pattern keyed so that
+// iterating the index reproduces the serial DFS matcher's emission order
+// bit-identically — content and order. This hinges on two invariants:
+//  * PropertyGraph adjacency lists are in ascending relationship-id order
+//    (content-determined, not insertion-ordered), and
+//  * the matcher seeds node scans in ascending node-id order.
+// Under them, the serial matcher emits matches in lexicographic order of
+// the key [n0, b0, r0, b1, r1, ...] where n0 is the seed node, r_i the
+// i-th traversed relationship, and b_i the adjacency bucket it was found
+// in (0 = outgoing list, 1 = incoming list). The key also uniquely
+// determines the trail, so a std::map over keys *is* the canonical match
+// bag.
+//
+// After each snapshotter Advance, the index repairs itself from the
+// published dirty sets: every indexed match touching a dirty entity is
+// removed, then every current match containing a dirty entity is
+// rediscovered by anchored bidirectional DFS (anchor each dirty entity at
+// each pattern position; duplicate discoveries collapse in the keyed
+// map). Correctness is pinned by a randomized delta-vs-full equivalence
+// property test (tests/delta_equivalence_test.cc).
+#ifndef SERAPH_SERAPH_DELTA_DELTA_INDEX_H_
+#define SERAPH_SERAPH_DELTA_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/ast.h"
+#include "cypher/executor.h"
+#include "graph/property_graph.h"
+#include "seraph/seraph_query.h"
+#include "stream/snapshot.h"
+#include "table/table.h"
+#include "value/value.h"
+
+namespace seraph {
+
+class DeltaIndex {
+ public:
+  // Whether `query` can be served by delta matching. Deliberately
+  // conservative: EMIT mode, window-content-deterministic, exactly one
+  // non-OPTIONAL MATCH clause with a single fixed-length kNormal pattern,
+  // no exists() predicates anywhere, no aggregates in the projection, and
+  // pattern property expressions free of variable references (so they can
+  // be evaluated once, without a binding). Variable-length patterns,
+  // shortestPath, and aggregation are follow-on work (see ROADMAP.md).
+  static bool Eligible(const RegisteredQuery& query);
+
+  // `match` must satisfy Eligible's structural checks and outlive the
+  // index (it points into the registered query's clause list).
+  explicit DeltaIndex(const MatchClause* match);
+
+  // Whether the index currently tracks some snapshot state (Build
+  // succeeded and no invalidation happened since).
+  bool valid() const { return valid_; }
+  // Matches currently indexed.
+  size_t size() const { return matches_.size(); }
+  int64_t applied_advances() const { return applied_advances_; }
+
+  // Drops all state; the next evaluation must Build from scratch.
+  // Called on evaluation failure, checkpoint restore, and query revive —
+  // any point where the index may have diverged from the snapshot.
+  void Invalidate();
+
+  // Full build against `graph` (the snapshotter's current snapshot),
+  // recording the snapshotter advance count the build corresponds to.
+  // `exec` supplies parameters and the cooperative deadline.
+  Status Build(const PropertyGraph& graph, int64_t advances,
+               const ExecutionOptions& exec);
+
+  // Counter-synchronization with the snapshotter, called right after its
+  // Advance: a single new advance is applied from the published dirty
+  // sets; anything else (missed advances, internal repair failure)
+  // invalidates the index. No-op while invalid.
+  void ObserveAdvance(const IncrementalSnapshotter& snapshotter);
+
+  // The MATCH-stage output table (post-WHERE, null-padded) in the
+  // canonical serial emission order — bit-identical to ApplyMatch over
+  // Table::Unit(). Requires valid().
+  Result<Table> Emit(const PropertyGraph& graph,
+                     const ExecutionOptions& exec) const;
+
+ private:
+  // [n0, b0, r0, b1, r1, ...]; lexicographic order == serial DFS order.
+  using Key = std::vector<int64_t>;
+
+  // Removes matches touching dirty entities, then rediscovers all current
+  // matches containing at least one dirty entity via anchored DFS.
+  Status ApplyDirty(const PropertyGraph& graph,
+                    const std::vector<NodeId>& dirty_nodes,
+                    const std::vector<RelId>& dirty_rels);
+
+  // Evaluates the pattern's property expressions once (they reference no
+  // variables — Eligible guarantees it) into plain value lists.
+  Status PrecomputeProperties(const PropertyGraph& graph,
+                              const ExecutionOptions& exec);
+
+  // Constraint checks against precomputed property values.
+  bool NodeOk(const PropertyGraph& graph, size_t pos, NodeId id) const;
+  bool RelOk(const PropertyGraph& graph, size_t pos, RelId id) const;
+
+  void InsertMatch(const PathValue& trail, const PropertyGraph& graph);
+  void RemoveMatch(const Key& key);
+  Key KeyFor(const PathValue& trail, const PropertyGraph& graph) const;
+
+  // Anchored rediscovery state and expansion (see delta_index.cc).
+  struct Search;
+  Status AnchorNode(const PropertyGraph& graph, NodeId id, size_t pos);
+  Status AnchorRel(const PropertyGraph& graph, RelId id, size_t pos);
+  Status ExtendRight(const PropertyGraph& graph, Search* s, size_t right,
+                     size_t left);
+  Status ExtendLeft(const PropertyGraph& graph, Search* s, size_t left);
+  Status RecordMatch(const Search& s);
+
+  // Reassembles the record the serial matcher would have emitted for
+  // `trail` (node/rel/path variable bindings; repeated variables pin).
+  Record ReconstructRecord(const PathValue& trail) const;
+
+  const MatchClause* match_;
+  const PathPattern* pattern_;
+  std::set<std::string> new_vars_;  // All pattern variables.
+
+  bool valid_ = false;
+  int64_t applied_advances_ = 0;
+
+  // Precomputed pattern property constraints, per position.
+  std::vector<std::vector<std::pair<std::string, Value>>> node_props_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rel_props_;
+  bool props_ready_ = false;
+
+  // The match bag, keyed in canonical order, plus the inverted
+  // entity→match index driving churn-proportional repair. Key pointers
+  // are stable (node-based map).
+  std::map<Key, PathValue> matches_;
+  std::map<NodeId, std::set<const Key*>> node_keys_;
+  std::map<RelId, std::set<const Key*>> rel_keys_;
+};
+
+}  // namespace seraph
+
+#endif  // SERAPH_SERAPH_DELTA_DELTA_INDEX_H_

@@ -162,6 +162,13 @@ Status StreamDriver::DrainPending(int64_t* delivered) {
 
 Result<int64_t> StreamDriver::PumpAll() {
   EnsureMetrics();
+  // The driver owns its consumer registration: the queue rejects polls
+  // from unknown names (a stray name must not pin retention), so attach
+  // explicitly — but only when the queue has no committed offset yet, so
+  // a recovery-restored position is never clobbered back to the base.
+  if (!queue_->HasConsumer(options_.consumer)) {
+    queue_->Subscribe(options_.consumer);
+  }
   int64_t delivered = 0;
   // Elements released by an earlier pump whose delivery failed retry
   // first, preserving timestamp order into the engine.
@@ -176,8 +183,8 @@ Result<int64_t> StreamDriver::PumpAll() {
                          ? options_.degraded_poll_batch
                          : options_.poll_batch * 4)
                   : options_.poll_batch;
-    // A consumer the queue has never seen polls from 0, so the unknown
-    // case resolves to the same starting offset.
+    // Subscribed above (or restored by recovery), so the offset exists;
+    // value_or guards fault doubles that track offsets out of band.
     const size_t batch_start =
         queue_->OffsetOf(options_.consumer).value_or(0);
     auto batch = queue_->Poll(options_.consumer, poll_batch);

@@ -1,11 +1,21 @@
 #include "stream/event_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/fault.h"
 
 namespace seraph {
+
+namespace {
+// Exponential backoff ladder for the kBlock real-clock wait path: start
+// fine-grained so a trim that frees space promptly is noticed, cap well
+// below the default timeout so the wait still resolves in a handful of
+// sleeps.
+constexpr int64_t kBlockBackoffInitialMicros = 100;
+constexpr int64_t kBlockBackoffMaxMicros = 4000;
+}  // namespace
 
 Status EventQueue::Produce(PropertyGraph graph, Timestamp timestamp) {
   return Produce(std::make_shared<const PropertyGraph>(std::move(graph)),
@@ -42,11 +52,17 @@ Status EventQueue::AdmitOne() {
       // Bounded wait for a retention trim to open space. Waiting is
       // counted against the injectable clock; when the clock is pinned
       // (ManualClock in tests) each attempt accounts one virtual
-      // millisecond, so the wait is deterministic and never sleeps.
+      // millisecond, so the wait is deterministic and never sleeps. On
+      // an advancing (real) clock each attempt sleeps with bounded
+      // exponential backoff, so a blocked producer costs
+      // O(timeout / max_backoff) loop iterations, not a spinning core.
       ++blocked_produces_total_;
       int64_t waited_millis = 0;
+      int64_t carry_micros = 0;  // Sub-ms remainder of real elapsed time.
+      int64_t backoff_micros = kBlockBackoffInitialMicros;
       int64_t last_micros = clock_->NowMicros();
       while (waited_millis < options_.block_timeout_millis) {
+        ++block_iterations_total_;
         TrimCommitted();
         if (log_.size() < options_.capacity) {
           blocked_millis_total_ += waited_millis;
@@ -54,11 +70,16 @@ Status EventQueue::AdmitOne() {
         }
         int64_t now_micros = clock_->NowMicros();
         if (now_micros > last_micros) {
-          waited_millis += (now_micros - last_micros + 999) / 1000;
+          carry_micros += now_micros - last_micros;
+          waited_millis += carry_micros / 1000;
+          carry_micros %= 1000;
           last_micros = now_micros;
-          std::this_thread::yield();
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(backoff_micros));
+          backoff_micros =
+              std::min(backoff_micros * 2, kBlockBackoffMaxMicros);
         } else {
-          ++waited_millis;  // Virtual time: pinned or sub-ms clock.
+          ++waited_millis;  // Virtual time: pinned or sub-µs clock.
         }
       }
       blocked_millis_total_ += waited_millis;
@@ -87,7 +108,16 @@ void EventQueue::ShedOldest() {
 }
 
 size_t EventQueue::TrimCommitted() {
-  if (offsets_.empty()) return 0;
+  // Retention floor = min(committed consumer offsets, checkpoint
+  // horizon). With no consumers attached the horizon alone governs — a
+  // durable run that produces before its driver subscribes can still
+  // trim checkpoint-covered entries (everything below the horizon is
+  // recoverable from the checkpoint, and new consumers start at the
+  // retention base anyway). With neither consumers nor a horizon
+  // nothing is provably consumed, so nothing is dropped.
+  if (offsets_.empty() && checkpoint_horizon_ == kNoCheckpointHorizon) {
+    return 0;
+  }
   size_t floor = checkpoint_horizon_;
   for (const auto& [name, offset] : offsets_) {
     floor = std::min(floor, offset);
@@ -109,7 +139,16 @@ Result<std::vector<StreamElement>> EventQueue::Poll(
     const std::string& consumer, size_t max_events) {
   // Fires before the offset moves: a failed poll consumes nothing.
   SERAPH_FAULT_POINT("queue.poll");
-  size_t& offset = offsets_[consumer];
+  auto it = offsets_.find(consumer);
+  if (it == offsets_.end()) {
+    // Polling must not implicitly register: a stray (e.g. misspelled)
+    // consumer name would otherwise join the TrimCommitted floor forever
+    // and freeze retention on a bounded queue.
+    return Status::NotFound("unknown consumer '" + consumer +
+                            "': Subscribe (or restore an offset) before "
+                            "polling");
+  }
+  size_t& offset = it->second;
   // A consumer below the retention base (first poll on a trimmed queue,
   // or its unconsumed prefix was shed) resumes at the oldest retained
   // element; shed losses were accounted at eviction time.

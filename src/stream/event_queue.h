@@ -89,10 +89,18 @@ class EventQueue {
   // never-trimmed queue).
   void Subscribe(const std::string& consumer) { offsets_[consumer] = base_; }
 
+  // Forgets a consumer's committed offset, releasing its hold on the
+  // TrimCommitted retention floor. Returns whether it was registered.
+  bool RemoveConsumer(const std::string& consumer) {
+    return offsets_.erase(consumer) > 0;
+  }
+
   // Returns up to `max_events` events past the consumer's offset and
-  // advances it. Unknown consumers start at the oldest retained offset.
-  // A transient transport failure (injected or simulated) advances
-  // nothing.
+  // advances it. Consumers must be registered first (Subscribe /
+  // Seek / RestoreOffset): polling under an unknown name fails with
+  // kNotFound instead of implicitly registering it — a stray name would
+  // otherwise pin the retention floor forever. A transient transport
+  // failure (injected or simulated) advances nothing.
   virtual Result<std::vector<StreamElement>> Poll(const std::string& consumer,
                                                   size_t max_events);
 
@@ -133,9 +141,15 @@ class EventQueue {
   const Options& options() const { return options_; }
 
   // Drops retained entries below min(every committed consumer offset,
-  // checkpoint horizon). Returns the number trimmed. Runs automatically
-  // on produce when the queue is bounded; harmless to call at any time.
+  // checkpoint horizon). With no consumers registered, an installed
+  // checkpoint horizon alone permits trimming (produce-before-attach in
+  // a durable run); with no consumers and no horizon, nothing is
+  // dropped. Returns the number trimmed. Runs automatically on produce
+  // when the queue is bounded; harmless to call at any time.
   size_t TrimCommitted();
+
+  // Sentinel for "no checkpoint horizon installed".
+  static constexpr size_t kNoCheckpointHorizon = static_cast<size_t>(-1);
 
   // Retention floor installed by a CheckpointManager: entries at offsets
   // >= the horizon are not yet covered by a durable checkpoint, so
@@ -150,6 +164,11 @@ class EventQueue {
   int64_t trimmed_total() const { return trimmed_total_; }
   int64_t blocked_produces_total() const { return blocked_produces_total_; }
   int64_t blocked_millis_total() const { return blocked_millis_total_; }
+  // Loop iterations spent inside blocked produces — the busy-spin guard:
+  // on a real clock each iteration sleeps with bounded backoff, so this
+  // stays O(timeout / max_backoff) per blocked produce; on a pinned
+  // virtual clock it is exactly block_timeout_millis per timed-out wait.
+  int64_t block_iterations_total() const { return block_iterations_total_; }
 
  private:
   // Enforces the capacity bound for one incoming element.
@@ -164,12 +183,13 @@ class EventQueue {
   ShedCallback shed_callback_;
   // Absolute offset of log_.at(0): log_ stores offsets [base_, size()).
   size_t base_ = 0;
-  size_t checkpoint_horizon_ = static_cast<size_t>(-1);
+  size_t checkpoint_horizon_ = kNoCheckpointHorizon;
   int64_t shed_total_ = 0;
   int64_t rejected_total_ = 0;
   int64_t trimmed_total_ = 0;
   int64_t blocked_produces_total_ = 0;
   int64_t blocked_millis_total_ = 0;
+  int64_t block_iterations_total_ = 0;
 };
 
 }  // namespace seraph

@@ -192,6 +192,11 @@ Status IncrementalSnapshotter::Rebuild() {
     }
     SERAPH_RETURN_IF_ERROR(snapshot_.SetRelationshipData(id, std::move(merged)));
   }
+  // Publish this rebuild's dirty sets (sorted, deduplicated above) for
+  // consumers that maintain state keyed on window content — the delta
+  // matcher repairs exactly these entities after each Advance.
+  last_dirty_nodes_ = std::move(dirty_nodes_);
+  last_dirty_rels_ = std::move(dirty_rels_);
   dirty_nodes_.clear();
   dirty_rels_.clear();
   return Status::OK();

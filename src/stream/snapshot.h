@@ -73,6 +73,19 @@ class IncrementalSnapshotter {
   // Cumulative maintenance counters (monotone; callers diff snapshots).
   const SnapshotterStats& stats() const { return stats_; }
 
+  // Entities whose effective payload was recomputed (added, changed, or
+  // removed) by the most recent Advance/SetBase: sorted ascending,
+  // deduplicated, and a conservative superset of the entities that
+  // actually differ. This is the churn feed for delta matching — any
+  // match touching one of these may be stale, and any new match must
+  // bind at least one of them.
+  const std::vector<NodeId>& last_dirty_nodes() const {
+    return last_dirty_nodes_;
+  }
+  const std::vector<RelId>& last_dirty_rels() const {
+    return last_dirty_rels_;
+  }
+
  private:
   struct NodeContribution {
     Timestamp timestamp;
@@ -104,6 +117,8 @@ class IncrementalSnapshotter {
   std::map<RelId, std::deque<RelContribution>> rel_contribs_;
   std::vector<NodeId> dirty_nodes_;
   std::vector<RelId> dirty_rels_;
+  std::vector<NodeId> last_dirty_nodes_;
+  std::vector<RelId> last_dirty_rels_;
 
   // Current half-open element index range [lo_, hi_) covered by the window.
   size_t lo_ = 0;

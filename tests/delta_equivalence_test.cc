@@ -1,0 +1,402 @@
+// Delta-vs-full equivalence (docs/INTERNALS.md, "Incremental
+// evaluation"): an engine with delta matching enabled must deliver a
+// timeline bit-identical — content *and* row order, per emission — to an
+// engine that fully re-matches every instant, across query shapes
+// (directions, labels, property anchors, path variables, repeated
+// variables, WHERE), churn patterns (append-only, hot-set updates,
+// relationship rewires, window evictions), report policies, morsel
+// parallelism, evaluation deadlines with injected failures, and
+// checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+
+namespace seraph {
+namespace {
+
+// Round multiplier for fuzz loops; CI sets SERAPH_FUZZ_ROUNDS to fuzz
+// harder under sanitizers without slowing local runs.
+int FuzzRounds(int base) {
+  if (const char* env = std::getenv("SERAPH_FUZZ_ROUNDS")) {
+    long factor = std::strtol(env, nullptr, 10);
+    if (factor > 1) return base * static_cast<int>(factor);
+  }
+  return base;
+}
+
+Timestamp T(int64_t minutes) {
+  return Timestamp::FromMillis(minutes * 60'000);
+}
+
+// One timestamped stream: small graph elements whose node/relationship
+// ids are drawn from a bounded universe, so later elements *update*
+// earlier entities (labels merge, properties overwrite, relationships
+// rewire endpoints) while the sliding window concurrently evicts old
+// elements — every dirty-set source the snapshotter can produce.
+struct Event {
+  int64_t minute;
+  PropertyGraph graph;
+};
+
+std::vector<Event> ChurnEvents(uint32_t seed, int count) {
+  std::mt19937 rng(seed);
+  std::vector<Event> events;
+  int64_t minute = 0;
+  const int64_t node_universe = 30;
+  const int64_t rel_universe = 60;
+  // A relationship id's endpoints and type are immutable across a stream
+  // (the window union rejects conflicts); reusing an id only updates its
+  // properties. First use pins the definition.
+  struct RelDef {
+    int64_t src, trg;
+    std::string type;
+  };
+  std::map<int64_t, RelDef> rel_defs;
+  for (int e = 0; e < count; ++e) {
+    minute += static_cast<int64_t>(rng() % 3);
+    GraphBuilder builder;
+    const int nodes = 2 + static_cast<int>(rng() % 4);
+    const int rels = 2 + static_cast<int>(rng() % 5);
+    std::vector<int64_t> ids;
+    for (int i = 0; i < nodes; ++i) {
+      int64_t id = 1 + static_cast<int64_t>(rng() % node_universe);
+      ids.push_back(id);
+      std::vector<std::string> labels;
+      switch (rng() % 4) {
+        case 0: labels = {"A"}; break;
+        case 1: labels = {"B"}; break;
+        case 2: labels = {"A", "B"}; break;
+        default: break;  // Unlabelled.
+      }
+      builder.Node(id, labels,
+                   {{"v", Value::Int(static_cast<int64_t>(rng() % 10))}});
+    }
+    std::set<int64_t> used_rel_ids;
+    for (int i = 0; i < rels; ++i) {
+      int64_t id = 1 + static_cast<int64_t>(rng() % rel_universe);
+      if (!used_rel_ids.insert(id).second) continue;  // One id per element.
+      auto def = rel_defs.find(id);
+      if (def == rel_defs.end()) {
+        // Endpoints come from this element's nodes (a graph element must
+        // be self-contained); node-id reuse across elements still rewires
+        // the merged window graph. Bias towards self-loops occasionally
+        // (undirected + repeated-variable shapes hit their special cases).
+        int64_t src = ids[rng() % ids.size()];
+        int64_t trg = (rng() % 8 == 0) ? src : ids[rng() % ids.size()];
+        def = rel_defs
+                  .emplace(id, RelDef{src, trg,
+                                      (rng() % 3 == 0) ? "S" : "R"})
+                  .first;
+      } else {
+        // Reuse: carry the pinned endpoints into this element (bare-node
+        // merges keep it self-contained) and update the payload.
+        builder.Node(def->second.src, std::vector<std::string>{});
+        builder.Node(def->second.trg, std::vector<std::string>{});
+      }
+      builder.Rel(id, def->second.src, def->second.trg, def->second.type,
+                  {{"w", Value::Int(static_cast<int64_t>(rng() % 5))}});
+    }
+    events.push_back({minute, builder.Build()});
+  }
+  return events;
+}
+
+// Delta-eligible MATCH shapes (single fixed-length pattern, EMIT): the
+// delta path must serve all of these. The trailing two are deliberately
+// ineligible (variable-length, aggregation) and exercise the fallback.
+struct Shape {
+  const char* name;
+  const char* body;  // "MATCH ... EMIT ..." without the policy suffix.
+};
+
+const Shape kShapes[] = {
+    {"hop", "MATCH (a:A)-[r:R]->(b) WITHIN PT10M EMIT a.v AS av, b.v AS bv"},
+    {"anchor", "MATCH (a:A {v: 3})-[r]->(b) WITHIN PT10M EMIT b.v AS bv"},
+    {"chain",
+     "MATCH (a)-[:R]->(b)-[:S]->(c) WITHIN PT15M EMIT a.v AS x, c.v AS z"},
+    {"incoming", "MATCH (a:B)<-[r:R]-(b) WITHIN PT10M EMIT a.v AS av"},
+    {"undirected", "MATCH (a:B)-[r]-(b) WITHIN PT10M EMIT b.v AS bv"},
+    {"path",
+     "MATCH p = (a:A)-[r:R]->(b) WITHIN PT10M EMIT length(p) AS l, a.v AS "
+     "av"},
+    {"selfloop", "MATCH (a)-[r:R]->(a) WITHIN PT10M EMIT a.v AS av"},
+    {"filtered",
+     "MATCH (a:A)-[r:R]->(b) WITHIN PT10M WHERE a.v < b.v EMIT a.v AS av, "
+     "b.v AS bv"},
+    {"varlen", "MATCH (a:A)-[rs:R*1..2]->(b) WITHIN PT10M EMIT b.v AS bv"},
+    {"agg", "MATCH (a:A)-[r:R]->(b) WITHIN PT10M EMIT count(r) AS c"},
+};
+
+const char* const kPolicies[] = {"SNAPSHOT", "ON ENTERING", "ON EXITING"};
+
+std::string QueryText(const Shape& shape, const char* policy,
+                      const std::string& suffix) {
+  return "REGISTER QUERY " + std::string(shape.name) + suffix +
+         " STARTING AT '1970-01-01T00:05' { " + shape.body + " " + policy +
+         " EVERY PT5M }";
+}
+
+// Every (shape, policy) combination as one registered-query fleet.
+std::vector<std::string> FullFleet() {
+  std::vector<std::string> fleet;
+  for (const Shape& shape : kShapes) {
+    for (size_t p = 0; p < 3; ++p) {
+      fleet.push_back(
+          QueryText(shape, kPolicies[p], "_p" + std::to_string(p)));
+    }
+  }
+  return fleet;
+}
+
+std::vector<std::string> FleetNames() {
+  std::vector<std::string> names;
+  for (const Shape& shape : kShapes) {
+    for (size_t p = 0; p < 3; ++p) {
+      names.push_back(std::string(shape.name) + "_p" + std::to_string(p));
+    }
+  }
+  return names;
+}
+
+using Timeline = std::vector<std::pair<std::string, TimeVaryingTable>>;
+
+Timeline RunEngine(const EngineOptions& options,
+                   const std::vector<std::string>& fleet,
+                   const std::vector<std::string>& names,
+                   const std::vector<Event>& events) {
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  for (const std::string& text : fleet) {
+    EXPECT_TRUE(engine.RegisterText(text).ok()) << text;
+  }
+  for (const Event& event : events) {
+    EXPECT_TRUE(engine.Ingest(event.graph, T(event.minute)).ok());
+  }
+  EXPECT_TRUE(engine.AdvanceTo(T(events.back().minute + 20)).ok());
+  Timeline out;
+  for (const std::string& name : names) {
+    out.emplace_back(name, sink.ResultsFor(name));
+  }
+  return out;
+}
+
+// Table::operator== is bag equality; the delta index promises more —
+// the canonical serial emission order — so compare rows elementwise.
+void ExpectTimelinesIdentical(const Timeline& full, const Timeline& delta,
+                              const std::string& context) {
+  ASSERT_EQ(full.size(), delta.size()) << context;
+  for (size_t q = 0; q < full.size(); ++q) {
+    const TimeVaryingTable& f = full[q].second;
+    const TimeVaryingTable& d = delta[q].second;
+    ASSERT_EQ(f.size(), d.size()) << context << " " << full[q].first;
+    for (size_t i = 0; i < f.entries().size(); ++i) {
+      const std::string where = context + " " + full[q].first + " entry " +
+                                std::to_string(i);
+      EXPECT_EQ(f.entries()[i].window, d.entries()[i].window) << where;
+      const Table& ft = f.entries()[i].table;
+      const Table& dt = d.entries()[i].table;
+      ASSERT_EQ(ft.rows().size(), dt.rows().size()) << where;
+      for (size_t r = 0; r < ft.rows().size(); ++r) {
+        EXPECT_EQ(ft.rows()[r], dt.rows()[r]) << where << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(DeltaEquivalenceTest, TimelineIdenticalAcrossShapesPoliciesAndChurn) {
+  const std::vector<std::string> fleet = FullFleet();
+  const std::vector<std::string> names = FleetNames();
+  for (int round = 0; round < FuzzRounds(3); ++round) {
+    std::vector<Event> events =
+        ChurnEvents(/*seed=*/101 + static_cast<uint32_t>(round), /*count=*/50);
+    EngineOptions full_opts;
+    full_opts.delta_matching = false;
+    EngineOptions delta_opts;
+    delta_opts.delta_matching = true;
+    Timeline full = RunEngine(full_opts, fleet, names, events);
+    Timeline delta = RunEngine(delta_opts, fleet, names, events);
+    ExpectTimelinesIdentical(full, delta,
+                             "round " + std::to_string(round));
+  }
+}
+
+TEST(DeltaEquivalenceTest, IdenticalUnderMorselAndEvalParallelism) {
+  // The delta index always reproduces the *serial* canonical order, and
+  // the parallel matcher is bit-identical to serial — so a parallel
+  // full-rematch engine and a delta engine (whose fallback queries may
+  // themselves fan out morsels) must still agree exactly.
+  const std::vector<std::string> fleet = FullFleet();
+  const std::vector<std::string> names = FleetNames();
+  std::vector<Event> events = ChurnEvents(/*seed=*/77, /*count=*/40);
+  EngineOptions full_opts;
+  full_opts.delta_matching = false;
+  full_opts.match_threads = 4;
+  full_opts.match_min_seeds = 1;
+  full_opts.match_morsel_size = 4;
+  full_opts.eval_threads = 4;
+  EngineOptions delta_opts = full_opts;
+  delta_opts.delta_matching = true;
+  Timeline full = RunEngine(full_opts, fleet, names, events);
+  Timeline delta = RunEngine(delta_opts, fleet, names, events);
+  ExpectTimelinesIdentical(full, delta, "parallel");
+}
+
+TEST(DeltaEquivalenceTest, IdenticalAcrossCheckpointRestore) {
+  // Delta state is never serialized: a restored engine must rebuild its
+  // index and continue emitting exactly what an uninterrupted full
+  // engine would. Prefix runs on one delta engine, the suffix on a
+  // restored one; the concatenation must equal the one-life full run.
+  const std::vector<std::string> fleet = FullFleet();
+  const std::vector<std::string> names = FleetNames();
+  for (int round = 0; round < FuzzRounds(2); ++round) {
+    std::vector<Event> events =
+        ChurnEvents(/*seed=*/301 + static_cast<uint32_t>(round), /*count=*/40);
+    const int64_t mid = events[events.size() / 2].minute;
+    const int64_t end = events.back().minute + 20;
+
+    EngineOptions full_opts;
+    full_opts.delta_matching = false;
+    ContinuousEngine full(full_opts);
+    CollectingSink full_sink;
+    full.AddSink(&full_sink);
+    for (const std::string& text : fleet) {
+      ASSERT_TRUE(full.RegisterText(text).ok());
+    }
+    for (const Event& event : events) {
+      ASSERT_TRUE(full.Ingest(event.graph, T(event.minute)).ok());
+    }
+    ASSERT_TRUE(full.AdvanceTo(T(mid)).ok());
+    ASSERT_TRUE(full.AdvanceTo(T(end)).ok());
+
+    EngineOptions delta_opts;
+    delta_opts.delta_matching = true;
+    ContinuousEngine first_life(delta_opts);
+    CollectingSink first_sink;
+    first_life.AddSink(&first_sink);
+    for (const std::string& text : fleet) {
+      ASSERT_TRUE(first_life.RegisterText(text).ok());
+    }
+    for (const Event& event : events) {
+      if (event.minute > mid) break;
+      ASSERT_TRUE(first_life.Ingest(event.graph, T(event.minute)).ok());
+    }
+    ASSERT_TRUE(first_life.AdvanceTo(T(mid)).ok());
+    EngineCheckpoint checkpoint = first_life.CaptureCheckpoint();
+
+    ContinuousEngine second_life(delta_opts);
+    CollectingSink second_sink;
+    second_life.AddSink(&second_sink);
+    for (const std::string& text : fleet) {
+      ASSERT_TRUE(second_life.RegisterText(text).ok());
+    }
+    ASSERT_TRUE(second_life.RestoreFrom(checkpoint).ok());
+    for (const Event& event : events) {
+      if (event.minute <= mid) continue;
+      ASSERT_TRUE(second_life.Ingest(event.graph, T(event.minute)).ok());
+    }
+    ASSERT_TRUE(second_life.AdvanceTo(T(end)).ok());
+
+    for (const std::string& name : names) {
+      const TimeVaryingTable& expected = full_sink.ResultsFor(name);
+      const TimeVaryingTable& prefix = first_sink.ResultsFor(name);
+      const TimeVaryingTable& suffix = second_sink.ResultsFor(name);
+      ASSERT_EQ(expected.size(), prefix.size() + suffix.size())
+          << name << " round " << round;
+      for (size_t i = 0; i < expected.entries().size(); ++i) {
+        const auto& want = expected.entries()[i];
+        const auto& got = i < prefix.entries().size()
+                              ? prefix.entries()[i]
+                              : suffix.entries()[i - prefix.entries().size()];
+        const std::string where =
+            name + " round " + std::to_string(round) + " entry " +
+            std::to_string(i);
+        EXPECT_EQ(want.window, got.window) << where;
+        ASSERT_EQ(want.table.rows().size(), got.table.rows().size()) << where;
+        for (size_t r = 0; r < want.table.rows().size(); ++r) {
+          EXPECT_EQ(want.table.rows()[r], got.table.rows()[r])
+              << where << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+class DeltaFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(DeltaFaultTest, IdenticalAfterInjectedDeadlineFailure) {
+  // An injected "eval.deadline" expiry fails one evaluation; the engine
+  // invalidates the delta index (it may be mid-repair and has already
+  // consumed that advance's dirty sets) and the next instant rebuilds.
+  // Both arms see the same deterministic fault schedule, so the
+  // timelines — including the gap at the failed instant — must agree.
+  const std::vector<std::string> fleet = {QueryText(kShapes[0], "SNAPSHOT",
+                                                    "_p0")};
+  const std::vector<std::string> names = {"hop_p0"};
+  std::vector<Event> events = ChurnEvents(/*seed=*/55, /*count=*/40);
+  EngineOptions full_opts;
+  full_opts.delta_matching = false;
+  full_opts.eval_deadline_millis = 60'000;  // Plumbing only; never expires.
+  EngineOptions delta_opts = full_opts;
+  delta_opts.delta_matching = true;
+
+  FaultInjector::Global().ArmSchedule("eval.deadline", {3});
+  Timeline full = RunEngine(full_opts, fleet, names, events);
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ArmSchedule("eval.deadline", {3});
+  Timeline delta = RunEngine(delta_opts, fleet, names, events);
+  ExpectTimelinesIdentical(full, delta, "fault");
+  // The failure actually happened (the timeline is one emission short of
+  // the failure-free run).
+  FaultInjector::Global().Reset();
+  Timeline clean = RunEngine(delta_opts, fleet, names, events);
+  EXPECT_EQ(clean[0].second.size(), delta[0].second.size() + 1);
+}
+
+TEST(DeltaEquivalenceTest, MetricsDistinguishHitsRebuildsAndFallbacks) {
+  EngineOptions options;
+  options.delta_matching = true;
+  ContinuousEngine engine(options);
+  CollectingSink sink;
+  engine.AddSink(&sink);
+  // One eligible query and one ineligible (variable-length) query.
+  ASSERT_TRUE(
+      engine.RegisterText(QueryText(kShapes[0], "SNAPSHOT", "_m")).ok());
+  ASSERT_TRUE(
+      engine.RegisterText(QueryText(kShapes[8], "SNAPSHOT", "_m")).ok());
+  std::vector<Event> events = ChurnEvents(/*seed=*/9, /*count=*/30);
+  for (const Event& event : events) {
+    ASSERT_TRUE(engine.Ingest(event.graph, T(event.minute)).ok());
+  }
+  ASSERT_TRUE(engine.AdvanceTo(T(events.back().minute + 20)).ok());
+  auto counter = [&](const char* name, const char* query) {
+    return engine.metrics()
+        .CounterFor(name, {{"query", query}})
+        ->value();
+  };
+  EXPECT_GT(counter("seraph_delta_hits_total", "hop_m"), 0);
+  EXPECT_GT(counter("seraph_delta_rebuilds_total", "hop_m"), 0);
+  EXPECT_EQ(counter("seraph_delta_fallbacks_total", "hop_m"), 0);
+  EXPECT_EQ(counter("seraph_delta_hits_total", "varlen_m"), 0);
+  EXPECT_GT(counter("seraph_delta_fallbacks_total", "varlen_m"), 0);
+  // The hit path repaired incrementally: far fewer rebuilds than hits.
+  EXPECT_LT(counter("seraph_delta_rebuilds_total", "hop_m"),
+            counter("seraph_delta_hits_total", "hop_m"));
+}
+
+}  // namespace
+}  // namespace seraph

@@ -248,6 +248,9 @@ TEST(MatcherParallelTest, EngineExportsMatchPartitionMetrics) {
   options.match_threads = 4;
   options.match_min_seeds = 1;
   options.match_morsel_size = 2;
+  // Force the full-execution path: delta matching would serve this
+  // single-pattern EMIT query from its index and never fan out morsels.
+  options.delta_matching = false;
   ContinuousEngine engine(options);
   CollectingSink sink;
   engine.AddSink(&sink);

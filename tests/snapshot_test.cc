@@ -3,6 +3,8 @@
 // randomized streams and window slides.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <random>
 
 #include "graph/graph_builder.h"
@@ -192,6 +194,134 @@ TEST_P(SnapshotEquivalenceTest, IncrementalEqualsRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotEquivalenceTest,
                          ::testing::Range(0, 20));
+
+// Round multiplier for fuzz loops; CI sets SERAPH_FUZZ_ROUNDS to fuzz
+// harder under sanitizers without slowing local runs.
+int FuzzRounds(int base) {
+  if (const char* env = std::getenv("SERAPH_FUZZ_ROUNDS")) {
+    long factor = std::strtol(env, nullptr, 10);
+    if (factor > 1) return base * static_cast<int>(factor);
+  }
+  return base;
+}
+
+// Adversarial oracle: the incremental snapshotter must equal the
+// from-scratch rebuild under hostile churn — a tiny id space so many
+// elements contribute to the *same* entities (merge overlap), label sets
+// that only exist through union across elements, property overwrites
+// whose eviction must *revert* values, slides larger than the window
+// width (β > α: full turnover with coverage gaps), and windows that
+// empty out entirely. Delta matching leans on this invariant directly,
+// plus the guarantee that `last_dirty_*` is a superset of every entity
+// whose payload or presence actually changed.
+class AdversarialSnapshotTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialSnapshotTest, IncrementalEqualsRebuildUnderChurn) {
+  for (int round = 0; round < FuzzRounds(4); ++round) {
+    std::mt19937_64 rng(10'000 + 97 * GetParam() + round);
+    std::uniform_int_distribution<int64_t> node_dist(1, 6);
+    std::uniform_int_distribution<int> label_dist(0, 2);
+    std::uniform_int_distribution<int> per_event(1, 4);
+    std::uniform_int_distribution<int> gap(1, 5);
+    std::uniform_int_distribution<int> coin(0, 1);
+    static const char* kLabels[] = {"A", "B", "C"};
+
+    // Relationship endpoints/types must be consistent per id across the
+    // whole stream (ingestion-merge invariant), so fix them up front;
+    // events then re-contribute the same rel with fresh properties.
+    struct RelShape {
+      NodeId src, trg;
+      const char* type;
+    };
+    std::vector<RelShape> rel_shapes;
+    for (int64_t i = 0; i < 8; ++i) {
+      rel_shapes.push_back(RelShape{NodeId{node_dist(rng)},
+                                    NodeId{node_dist(rng)},
+                                    coin(rng) ? "E" : "F"});
+    }
+
+    PropertyGraphStream s;
+    int64_t now = 0;
+    for (int e = 0; e < 60; ++e) {
+      now += gap(rng);
+      PropertyGraph g;
+      const int n = per_event(rng);
+      for (int i = 0; i < n; ++i) {
+        NodeId id{node_dist(rng)};
+        NodeData data;
+        data.labels = {kLabels[label_dist(rng)]};
+        data.properties = {{"v", Value::Int(e)}};
+        if (coin(rng)) data.properties["w"] = Value::Int(now);
+        g.MergeNode(id, data);
+      }
+      if (coin(rng)) {
+        const RelShape& shape =
+            rel_shapes[static_cast<size_t>(e) % rel_shapes.size()];
+        RelData rel;
+        rel.type = shape.type;
+        rel.src = shape.src;
+        rel.trg = shape.trg;
+        rel.properties = {{"at", Value::Int(e)}};
+        ASSERT_TRUE(
+            g.MergeRelationship(RelId{1 + e % 8}, rel).ok());
+      }
+      ASSERT_TRUE(s.Append(std::move(g), T(now)).ok());
+    }
+
+    std::uniform_int_distribution<int> width_dist(2, 12);
+    std::uniform_int_distribution<int> slide_dist(1, 30);
+    const int width = width_dist(rng);
+    IncrementalSnapshotter inc(&s, IntervalBounds::kLeftOpenRightClosed);
+    for (int64_t end = 0; end <= now + width;
+         end += slide_dist(rng)) {  // Slides routinely exceed the width.
+      const PropertyGraph before = inc.graph();
+      TimeInterval window{T(end - width), T(end)};
+      ASSERT_TRUE(inc.Advance(window).ok());
+      auto rebuilt =
+          BuildSnapshot(s, window, IntervalBounds::kLeftOpenRightClosed);
+      ASSERT_TRUE(rebuilt.ok());
+      ASSERT_EQ(inc.graph(), *rebuilt)
+          << "window (" << end - width << ", " << end << "] width=" << width;
+
+      // Dirty-superset guarantee: every node/rel whose payload or
+      // presence changed across this advance appears in last_dirty_*.
+      const PropertyGraph& after = inc.graph();
+      auto node_changed = [&](NodeId id) {
+        const NodeData* a = before.node(id);
+        const NodeData* b = after.node(id);
+        return (a == nullptr) != (b == nullptr) ||
+               (a != nullptr && !(*a == *b));
+      };
+      auto rel_changed = [&](RelId id) {
+        const RelData* a = before.relationship(id);
+        const RelData* b = after.relationship(id);
+        return (a == nullptr) != (b == nullptr) ||
+               (a != nullptr && !(*a == *b));
+      };
+      const auto& dirty_nodes = inc.last_dirty_nodes();
+      const auto& dirty_rels = inc.last_dirty_rels();
+      for (const PropertyGraph* side : {&before, &after}) {
+        for (NodeId id : side->NodeIds()) {
+          if (node_changed(id)) {
+            EXPECT_TRUE(std::binary_search(dirty_nodes.begin(),
+                                           dirty_nodes.end(), id))
+                << "changed node " << id.value << " not reported dirty";
+          }
+        }
+        for (RelId id : side->RelationshipIds()) {
+          if (rel_changed(id)) {
+            EXPECT_TRUE(std::binary_search(dirty_rels.begin(),
+                                           dirty_rels.end(), id))
+                << "changed rel " << id.value << " not reported dirty";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialSnapshotTest,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace seraph

@@ -109,17 +109,52 @@ TEST(EventQueueTest, SeekReplays) {
   EXPECT_FALSE(q.Seek("c", 5).ok());
 }
 
-TEST(EventQueueTest, UnknownConsumerStartsAtZero) {
+TEST(EventQueueTest, UnknownConsumerMustSubscribeBeforePolling) {
   EventQueue q;
   ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
   // An unknown consumer has no committed offset — distinguishable from a
-  // subscribed consumer sitting at 0 (the recovery path depends on it).
+  // subscribed consumer sitting at 0 (the recovery path depends on it) —
+  // and polling under it fails instead of implicitly registering it.
   EXPECT_FALSE(q.OffsetOf("fresh").has_value());
   EXPECT_FALSE(q.HasConsumer("fresh"));
+  EXPECT_EQ(q.Poll("fresh", 10).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(q.HasConsumer("fresh"));  // The failed poll left no trace.
+  q.Subscribe("fresh");
   EXPECT_EQ(q.Poll("fresh", 10)->size(), 1u);
   ASSERT_TRUE(q.OffsetOf("fresh").has_value());
   EXPECT_EQ(*q.OffsetOf("fresh"), 1u);
   EXPECT_TRUE(q.HasConsumer("fresh"));
+}
+
+TEST(EventQueueTest, StrayPollCannotPinRetention) {
+  // Regression: Poll used to default-insert an offset entry for any
+  // never-seen name, and that phantom consumer joined the TrimCommitted
+  // floor forever — one misspelled name froze retention and wedged a
+  // bounded queue.
+  EventQueue::Options options;
+  options.capacity = 2;
+  options.overflow_policy = OverflowPolicy::kReject;
+  EventQueue q(options);
+  q.Subscribe("engine");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  EXPECT_FALSE(q.Poll("enigne", 10).ok());  // Typo'd consumer: rejected.
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  EXPECT_EQ(q.Poll("engine", 10)->size(), 2u);
+  // With only the real consumer on the floor, the next produces trim the
+  // committed prefix instead of wedging against a phantom at offset 0.
+  ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(4), T(4)).ok());
+  EXPECT_EQ(q.base_offset(), 2u);
+  EXPECT_EQ(q.rejected_total(), 0);
+  // A *subscribed* idle consumer legitimately pins retention...
+  q.Subscribe("inspector");
+  EXPECT_EQ(q.Poll("engine", 10)->size(), 2u);
+  EXPECT_EQ(q.Produce(Tiny(5), T(5)).code(), StatusCode::kUnavailable);
+  // ...until it is detached explicitly, which releases its hold.
+  EXPECT_TRUE(q.RemoveConsumer("inspector"));
+  ASSERT_TRUE(q.Produce(Tiny(5), T(5)).ok());
+  EXPECT_EQ(q.base_offset(), 4u);
+  EXPECT_FALSE(q.RemoveConsumer("inspector"));  // Already gone.
 }
 
 // ---------------------------------------------------------------------------
@@ -198,6 +233,79 @@ TEST(BoundedEventQueueTest, BlockPolicyWaitsInVirtualTime) {
   EXPECT_EQ(q.Poll("c", 10)->size(), 1u);
   ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
   EXPECT_EQ(q.blocked_produces_total(), 1);  // No wait was needed.
+}
+
+TEST(BoundedEventQueueTest, BlockedProduceIterationsAreBounded) {
+  // Regression: the kBlock wait loop used to spin (TrimCommitted +
+  // yield) across the full timeout. Under a pinned wall clock the loop
+  // is purely virtual: exactly one iteration per accounted virtual
+  // millisecond, no sleeping, deterministic.
+  ManualClock clock(/*now_micros=*/0);
+  EventQueue q(Bounded(1, OverflowPolicy::kBlock));
+  q.SetClock(&clock);
+  q.Subscribe("c");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  const int64_t before = q.block_iterations_total();
+  EXPECT_EQ(q.Produce(Tiny(2), T(2)).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(q.block_iterations_total() - before,
+            q.options().block_timeout_millis);
+}
+
+// A clock that advances a fixed step per read — a stand-in for real time
+// that keeps the test independent of scheduler jitter.
+class SteppingClock final : public Clock {
+ public:
+  explicit SteppingClock(int64_t step_micros) : step_(step_micros) {}
+  int64_t NowMicros() const override {
+    return now_.fetch_add(step_, std::memory_order_relaxed) + step_;
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_{0};
+  const int64_t step_;
+};
+
+TEST(BoundedEventQueueTest, BlockedProduceBacksOffOnRealClock) {
+  // On an advancing clock each wait iteration sleeps with doubling
+  // backoff instead of yielding, so the iteration count is a small
+  // constant plus timeout/max_backoff — not timeout/yield-granularity.
+  SteppingClock clock(/*step_micros=*/2000);
+  EventQueue q(Bounded(1, OverflowPolicy::kBlock));
+  q.SetClock(&clock);
+  q.Subscribe("c");
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  const int64_t before = q.block_iterations_total();
+  EXPECT_EQ(q.Produce(Tiny(2), T(2)).code(), StatusCode::kUnavailable);
+  const int64_t iterations = q.block_iterations_total() - before;
+  // 50 ms timeout at ≥2 ms accounted per iteration: ≤ ~25 iterations,
+  // far below the one-per-millisecond virtual-time worst case.
+  EXPECT_LE(iterations, q.options().block_timeout_millis / 2 + 1);
+  EXPECT_GE(q.blocked_millis_total(), q.options().block_timeout_millis);
+}
+
+TEST(BoundedEventQueueTest, HorizonAlonePermitsTrimBeforeConsumerAttach) {
+  // Regression: TrimCommitted returned early when no consumer had ever
+  // attached, even with a valid checkpoint horizon — a bounded durable
+  // run that produces before the driver subscribes wedged kBlock forever.
+  ManualClock clock(/*now_micros=*/0);
+  EventQueue q(Bounded(2, OverflowPolicy::kBlock));
+  q.SetClock(&clock);
+  ASSERT_TRUE(q.Produce(Tiny(1), T(1)).ok());
+  ASSERT_TRUE(q.Produce(Tiny(2), T(2)).ok());
+  // No consumers, no horizon: nothing is provably consumed, so the full
+  // queue blocks (bounded, virtual time) and rejects.
+  EXPECT_EQ(q.Produce(Tiny(3), T(3)).code(), StatusCode::kUnavailable);
+  // A durable checkpoint covering the first entry permits trimming it
+  // even though no consumer has attached yet.
+  q.SetCheckpointHorizon(1);
+  ASSERT_TRUE(q.Produce(Tiny(3), T(3)).ok());
+  EXPECT_EQ(q.base_offset(), 1u);
+  EXPECT_EQ(q.depth(), 2u);
+  // A consumer attaching later starts at the oldest retained element and
+  // joins the floor from there.
+  q.Subscribe("c");
+  EXPECT_EQ(*q.OffsetOf("c"), 1u);
+  EXPECT_EQ(q.Poll("c", 10)->size(), 2u);
 }
 
 TEST(BoundedEventQueueTest, CheckpointHorizonHoldsUncommittedSuffix) {

@@ -4,7 +4,9 @@
 # bench_parallel_queries: inter-query scheduler scaling; bench_recovery:
 # checkpoint write cost vs. state size and recovery latency vs. replay
 # length; bench_emit_latency: the latency-stamping overhead guard;
-# bench_overload: bounded-queue admission cost per overflow policy and
+# bench_delta: delta-matching ablation — steady-state evaluation latency
+# vs. window size with churn held fixed; bench_overload: bounded-queue
+# admission cost per overflow policy and
 # the degraded-mode catch-up pump) plus
 # the steady-state latency harness, and writes one BENCH_<name>.json per
 # binary for archiving as a CI artifact and diffing against the committed
@@ -20,6 +22,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 BENCHES=(bench_match bench_parallel_queries bench_recovery bench_emit_latency
+         bench_delta
          bench_overload)
 
 mkdir -p "${OUT_DIR}"
