@@ -1,0 +1,136 @@
+// Sharded serving tier scaling (docs/INTERNALS.md, "Sharded serving
+// tier"): the same hash-partitioned workload pushed through one plain
+// ContinuousEngine (the `single` arm) and through ShardedEngine fleets
+// of 1, 2, and 4 shards. Elements are routed HashByNodeId, so each
+// shard matches over ~1/N of the stream; the coordinator's merge keeps
+// output deterministic. The interesting curve is evaluation-bound:
+// per-shard windows shrink with N, so fleet wall-clock per event should
+// fall as shards are added, while the 1-shard fleet exposes the
+// coordinator's overhead over the bare engine.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "seraph/continuous_engine.h"
+#include "seraph/sinks.h"
+#include "seraph/stream_router.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_engine.h"
+
+namespace {
+
+using namespace seraph;
+
+Timestamp T(int64_t minutes) { return Timestamp::FromMillis(minutes * 60'000); }
+
+std::string IsoMinute(int64_t minutes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "1970-01-01T%02d:%02d",
+                static_cast<int>(minutes / 60),
+                static_cast<int>(minutes % 60));
+  return buf;
+}
+
+constexpr int kMinutes = 48;
+constexpr int kNodesPerEvent = 16;
+constexpr int kAnchorUniverse = 256;  // Rotating node-id space.
+constexpr int kWindowMinutes = 8;
+
+// One element per minute: a chain of :N nodes over a rotating id space
+// wired with E-typed relationships. HashByNodeId anchors each element at
+// its smallest node id, spreading consecutive minutes across shards.
+std::vector<std::pair<int64_t, PropertyGraph>> BuildWorkload() {
+  std::vector<std::pair<int64_t, PropertyGraph>> events;
+  int64_t next_rel_id = 1;
+  for (int64_t m = 0; m < kMinutes; ++m) {
+    GraphBuilder builder;
+    std::vector<int64_t> ids;
+    for (int i = 0; i < kNodesPerEvent; ++i) {
+      int64_t id = (m * kNodesPerEvent + i * 7) % kAnchorUniverse;
+      ids.push_back(id);
+      builder.Node(id, {"N"}, {{"v", Value::Int((m + i) % 10)}});
+    }
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      builder.Rel(next_rel_id++, ids[i], ids[i + 1], "E");
+    }
+    events.emplace_back(m, builder.Build());
+  }
+  return events;
+}
+
+std::string Query() {
+  return "REGISTER QUERY q STARTING AT '" + IsoMinute(kWindowMinutes) +
+         "' { MATCH (a:N)-[r:E]->(b:N) WITHIN PT" +
+         std::to_string(kWindowMinutes) +
+         "M EMIT a.v AS av, b.v AS bv SNAPSHOT EVERY PT1M }";
+}
+
+// Arg 0 = shard count; 0 means the bare single-engine baseline.
+void BM_ShardedPipeline(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const auto workload = BuildWorkload();
+  const std::string query = Query();
+  int64_t emissions = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CountingSink sink;
+    if (shards == 0) {
+      ContinuousEngine engine;
+      engine.AddSink(&sink);
+      if (!engine.RegisterText(query).ok()) {
+        state.SkipWithError("register failed");
+        return;
+      }
+      state.ResumeTiming();
+      for (const auto& [minute, graph] : workload) {
+        if (!engine.Ingest(graph, T(minute)).ok() ||
+            !engine.AdvanceTo(T(minute)).ok()) {
+          state.SkipWithError("single run failed");
+          return;
+        }
+      }
+    } else {
+      shard::ShardedEngineOptions options;
+      options.shards = shards;
+      shard::ShardedEngine fleet(options);
+      fleet.AddSink(&sink);
+      fleet.AddRoute("", AcceptAll(), shard::HashByNodeId());
+      if (!fleet.RegisterText(query).ok()) {
+        state.SkipWithError("register failed");
+        return;
+      }
+      state.ResumeTiming();
+      for (const auto& [minute, graph] : workload) {
+        if (!fleet.Ingest(graph, T(minute)).ok() || !fleet.PumpAll().ok()) {
+          state.SkipWithError("sharded run failed");
+          return;
+        }
+      }
+      if (!fleet.Finish().ok()) {
+        state.SkipWithError("finish failed");
+        return;
+      }
+    }
+    emissions += sink.evaluations();
+  }
+  state.counters["events"] = static_cast<double>(kMinutes);
+  state.counters["emits"] =
+      static_cast<double>(emissions) / state.iterations();
+  state.SetLabel(shards == 0 ? "single"
+                             : "shards=" + std::to_string(shards));
+}
+BENCHMARK(BM_ShardedPipeline)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -268,7 +268,7 @@ Result<int64_t> StreamDriver::PumpAll() {
     if (!error.ok()) return error;
   }
   UpdateBacklogGauges();
-  if (delivered_any_) {
+  if (delivered_any_ && options_.advance_engine_clock) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
   }
   return delivered;
@@ -284,7 +284,7 @@ Status StreamDriver::Finish() {
   int64_t delivered = 0;
   SERAPH_RETURN_IF_ERROR(DrainPending(&delivered));
   UpdateBacklogGauges();
-  if (delivered_any_) {
+  if (delivered_any_ && options_.advance_engine_clock) {
     SERAPH_RETURN_IF_ERROR(engine_->AdvanceTo(delivered_horizon_));
   }
   return Status::OK();

@@ -82,6 +82,14 @@ class StreamDriver {
     // seraph_reorder_dropped_total.
     size_t reorder_capacity = 0;
     OverflowPolicy reorder_overflow = OverflowPolicy::kShedOldest;
+    // When false, the driver delivers elements but never calls
+    // engine->AdvanceTo(): the caller owns the engine clock. Used by the
+    // sharded tier, where several lanes feed one engine and the
+    // coordinator advances the shard once per pump to its watermark —
+    // otherwise the first lane to pump an instant would trigger
+    // evaluations before sibling lanes deliver their equal-timestamp
+    // elements.
+    bool advance_engine_clock = true;
   };
 
   StreamDriver(EventQueue* queue, ContinuousEngine* engine, Options options)
@@ -117,6 +125,12 @@ class StreamDriver {
   int64_t dropped() const {
     return reorder_.has_value() ? reorder_->dropped() : 0;
   }
+
+  // Highest timestamp delivered to the engine so far (meaningful only
+  // when delivered_any()). With advance_engine_clock set (the default),
+  // PumpAll/Finish advance the engine clock to it.
+  Timestamp delivered_horizon() const { return delivered_horizon_; }
+  bool delivered_any() const { return delivered_any_; }
 
   // Released-but-undelivered elements parked for the next pump.
   size_t pending() const { return pending_.size(); }

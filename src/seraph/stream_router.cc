@@ -2,6 +2,23 @@
 
 namespace seraph {
 
+void StreamRouter::BindMetrics(MetricsRegistry* registry) {
+  registry_ = registry;
+  dropped_counter_ = registry_ != nullptr
+                         ? registry_->CounterFor("seraph_router_dropped_total")
+                         : nullptr;
+  for (RouteEntry& route : routes_) {
+    route.routed = ResolveRoutedCounter(route.stream);
+  }
+}
+
+Counter* StreamRouter::ResolveRoutedCounter(const std::string& stream) const {
+  if (registry_ == nullptr) return nullptr;
+  return registry_->CounterFor(
+      "seraph_router_routed_total",
+      {{"stream", stream.empty() ? "<default>" : stream}});
+}
+
 Result<int> StreamRouter::Route(ContinuousEngine* engine,
                                 std::shared_ptr<const PropertyGraph> graph,
                                 Timestamp timestamp) const {
@@ -9,7 +26,12 @@ Result<int> StreamRouter::Route(ContinuousEngine* engine,
   for (const RouteEntry& route : routes_) {
     if (!route.predicate(*graph, timestamp)) continue;
     SERAPH_RETURN_IF_ERROR(engine->IngestTo(route.stream, graph, timestamp));
+    if (route.routed != nullptr) route.routed->Increment();
     ++delivered;
+  }
+  if (delivered == 0) {
+    ++dropped_total_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
   }
   return delivered;
 }

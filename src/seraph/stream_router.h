@@ -28,9 +28,16 @@ class StreamRouter {
 
   // Adds a route; one event may match any number of routes.
   void AddRoute(std::string stream, Predicate predicate) {
-    routes_.push_back(
-        RouteEntry{std::move(stream), std::move(predicate)});
+    RouteEntry entry{std::move(stream), std::move(predicate), nullptr};
+    entry.routed = ResolveRoutedCounter(entry.stream);
+    routes_.push_back(std::move(entry));
   }
+
+  // Exposes routing counters through `registry` (not owned; typically the
+  // engine's): `seraph_router_routed_total{stream=...}` per route and
+  // `seraph_router_dropped_total` for events matching no route. Existing
+  // and future routes are both covered; null detaches.
+  void BindMetrics(MetricsRegistry* registry);
 
   // Delivers the event to every matching logical stream of `engine`.
   // Returns the number of streams it was delivered to.
@@ -40,12 +47,23 @@ class StreamRouter {
 
   size_t num_routes() const { return routes_.size(); }
 
+  // Cumulative events that matched no route (counted even when metrics
+  // are unbound).
+  int64_t dropped_total() const { return dropped_total_; }
+
  private:
   struct RouteEntry {
     std::string stream;
     Predicate predicate;
+    Counter* routed = nullptr;  // Owned by the bound registry.
   };
+
+  Counter* ResolveRoutedCounter(const std::string& stream) const;
+
   std::vector<RouteEntry> routes_;
+  MetricsRegistry* registry_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  mutable int64_t dropped_total_ = 0;
 };
 
 // ---- Common predicates ----

@@ -1,26 +1,39 @@
-// A minimal plain-HTTP observability endpoint (no third-party deps —
-// POSIX sockets only), serving the health surface documented in
-// docs/INTERNALS.md, "Latency accounting & lag":
+// A minimal plain-HTTP serving front-end (no third-party deps — POSIX
+// sockets only). Historically the metrics-only observability endpoint;
+// now a small poll()-driven multi-connection server the sharded serving
+// tier mounts its API on (docs/INTERNALS.md, "Sharded serving tier"):
 //
 //   GET /metrics  → Prometheus text exposition of a MetricsRegistry
 //   GET /healthz  → "ok" (liveness)
 //   GET /queries  → JSON array of per-query status (caller-provided)
+//   ... plus any routes registered with Handle() before Start()
+//     (e.g. seraph_serve's POST /ingest, POST /queries,
+//      GET /queries/<name>/results long-poll).
 //
-// The server owns one background thread: a poll()-based accept loop that
-// serves each connection to completion before accepting the next. That is
-// deliberate — a scrape endpoint sees one client (the collector) at a
-// time, and a single-threaded loop keeps the server trivially correct.
-// Thread safety of the handlers is the caller's contract: /metrics reads
-// the registry (whose instruments are atomic, so scraping a live engine
-// is race-free), and the /queries callback must itself be safe to call
-// from the server thread (seraph_run publishes a snapshot under a mutex).
+// The server owns one background thread running a poll() loop over the
+// listener plus every open connection, so one slow client never wedges
+// the others; each connection still carries its own IO deadline
+// (Options::io_timeout_millis), so a connect-and-hang or stop-reading
+// client is abandoned on time. A handler may *park* a request (long
+// poll) by returning std::nullopt: it is re-invoked on every loop tick
+// until it produces a reply or Options::long_poll_timeout_millis
+// expires (→ 204 No Content).
+//
+// Threading contract: every handler (and queries_json) runs on the
+// server thread. /metrics reads the registry (whose instruments are
+// atomic, so scraping a live engine is race-free); anything else the
+// handlers touch must be synchronized by the caller (seraph_serve keeps
+// one mutex around the fleet).
 #ifndef SERAPH_SERVER_METRICS_SERVER_H_
 #define SERAPH_SERVER_METRICS_SERVER_H_
 
 #include <atomic>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
@@ -29,8 +42,29 @@ namespace seraph {
 
 class ContinuousEngine;
 
+// One parsed HTTP request, as handed to handlers.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/queries/q1/results" (no query string)
+  std::string query;   // "after=3" (raw, without the '?'; may be empty)
+  std::string body;    // Raw request body ("" for bodyless requests)
+};
+
+struct HttpReply {
+  int code = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
 class MetricsServer {
  public:
+  // Returns the reply, or std::nullopt to park the request (long poll):
+  // the handler is re-invoked on every serve-loop tick until it replies
+  // or the long-poll budget expires.
+  using HttpHandler =
+      std::function<std::optional<HttpReply>(const HttpRequest&)>;
+
   struct Options {
     // Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests), read
     // back via port() after Start.
@@ -41,11 +75,16 @@ class MetricsServer {
     // QueriesStatusJson(...)). May be empty; then /queries serves "[]".
     // Called on the server thread — must be thread-safe.
     std::function<std::string()> queries_json;
-    // Per-connection IO budget (read + write share one deadline). The
-    // accept loop serves one client at a time, so without a deadline a
-    // connect-and-hang client wedges /metrics and /healthz for everyone;
-    // with it, a stalled connection is abandoned and the loop moves on.
+    // Per-connection IO budget: a connection that stalls while its
+    // request is being read or its response drained is abandoned after
+    // this long. Parked (long-poll) time does not count against it.
     int io_timeout_millis = 5000;
+    // How long a parked (long-poll) request may wait for data before the
+    // server answers 204 No Content.
+    int long_poll_timeout_millis = 10000;
+    // Open connections accepted concurrently; further clients wait in
+    // the listen backlog.
+    int max_connections = 32;
   };
 
   explicit MetricsServer(Options options) : options_(std::move(options)) {}
@@ -54,18 +93,25 @@ class MetricsServer {
   MetricsServer(const MetricsServer&) = delete;
   MetricsServer& operator=(const MetricsServer&) = delete;
 
-  // Binds, listens, and starts the accept loop. Fails (kUnavailable) when
+  // Registers a handler for `method` + a path prefix, matched in
+  // registration order before the built-in GET routes. Call before
+  // Start() (the route table is not synchronized).
+  void Handle(std::string method, std::string path_prefix,
+              HttpHandler handler);
+
+  // Binds, listens, and starts the serve loop. Fails (kUnavailable) when
   // the port cannot be bound.
   Status Start();
 
-  // Shuts the listener down and joins the loop; idempotent.
+  // Shuts the listener down, closes open connections, joins the loop;
+  // idempotent.
   void Stop();
 
   // The bound port (resolved after Start; 0 before).
   int port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
-  // Total requests served (introspection for tests).
+  // Total requests dispatched to a handler/built-in (introspection).
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
@@ -77,10 +123,29 @@ class MetricsServer {
   }
 
  private:
-  void Serve();                       // The accept loop (server thread).
-  void HandleConnection(int client);  // One request → one response.
+  struct Route {
+    std::string method;
+    std::string prefix;
+    HttpHandler handler;
+  };
+  struct Connection;
+
+  void Serve();  // The poll loop (server thread).
+  // Drains readable bytes; true while the connection should stay open.
+  bool ReadSome(Connection* conn);
+  // Parses + dispatches once the request is complete.
+  void MaybeDispatch(Connection* conn);
+  // Re-invokes a parked connection's handler (long poll).
+  void TickParked(Connection* conn, int64_t now_millis);
+  // Sends pending response bytes; true while the connection stays open.
+  bool WriteSome(Connection* conn);
+  // Renders `reply` into the connection and switches it to writing.
+  void StartReply(Connection* conn, const HttpReply& reply);
+  // The built-in GET routes; false when the path is unknown.
+  bool BuiltinReply(const HttpRequest& request, HttpReply* reply) const;
 
   Options options_;
+  std::vector<Route> routes_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread thread_;
@@ -96,6 +161,9 @@ class MetricsServer {
 // quiescent point and publish the returned string to the server's
 // queries_json callback (see tools/seraph_run.cc).
 std::string QueriesStatusJson(const ContinuousEngine& engine);
+
+// JSON string escaping shared by the status documents.
+std::string EscapeJsonString(const std::string& value);
 
 }  // namespace seraph
 

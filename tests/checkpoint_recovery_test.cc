@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -27,6 +28,8 @@
 #include "seraph/continuous_engine.h"
 #include "seraph/dead_letter.h"
 #include "seraph/stream_driver.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_engine.h"
 
 namespace seraph {
 namespace {
@@ -734,6 +737,147 @@ TEST_F(CheckpointRecoveryTest, DriverResumeExactlyOnceUnderChaos) {
   for (size_t i = 0; i < restored_evals; ++i) {
     EXPECT_EQ(io::ToJson(prefix.entries()[i].table.Canonicalized()),
               io::ToJson(expected.entries()[i].table.Canonicalized()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fleet: one shard's checkpoint commit dies mid-run, the fleet
+// still recovers to a consistent cut (docs/INTERNALS.md, "Sharded
+// serving tier"). The shards end up on *different* generations — the
+// victim falls back while the healthy shard restores its newest — and
+// each replays its own ingest-log suffix, so per query the recovered
+// output is exactly the oracle suffix: nothing replayed, nothing lost.
+// ---------------------------------------------------------------------------
+
+PropertyGraph Sided(const std::string& label, int64_t id) {
+  return GraphBuilder()
+      .Node(id, {label}, {{"id", Value::Int(id)}})
+      .Build();
+}
+
+// Per-minute cadence so every per-event pump crosses a due instant —
+// each pump is a batch barrier, and with checkpoint_every=1 each shard
+// commits a generation per pump (what the armed fault below targets).
+constexpr char kLeftQuery[] = R"(
+  REGISTER QUERY q_left STARTING AT '1970-01-01T00:05'
+  { MATCH (n:L) WITHIN PT30M FROM left EMIT n.id SNAPSHOT EVERY PT1M })";
+constexpr char kRightQuery[] = R"(
+  REGISTER QUERY q_right STARTING AT '1970-01-01T00:05'
+  { MATCH (n:R) WITHIN PT30M FROM right EMIT n.id SNAPSHOT EVERY PT1M })";
+
+constexpr int kShardedEvents = 18;
+constexpr int kShardedCrashAt = 12;
+
+PropertyGraph ShardedEvent(int i) {
+  return (i % 2 == 0) ? Sided("L", 100 + i) : Sided("R", 200 + i);
+}
+
+void ConfigureFleet(shard::ShardedEngine* fleet) {
+  // Two pinned sub-streams on different shards; the default broadcast
+  // route stays, keeping both shard clocks moving on every element.
+  fleet->AddRoute("left", HasLabel("L"), shard::FixedShard(0));
+  fleet->AddRoute("right", HasLabel("R"), shard::FixedShard(1));
+  ASSERT_TRUE(fleet->RegisterText(kLeftQuery).ok());
+  ASSERT_TRUE(fleet->RegisterText(kRightQuery).ok());
+}
+
+TEST_F(CheckpointRecoveryTest, ShardedFleetRecoversWhenOneShardCommitDies) {
+  // The uninterrupted fleet run (per-query timelines).
+  CollectingSink oracle_sink;
+  {
+    shard::ShardedEngineOptions options;
+    options.shards = 2;
+    shard::ShardedEngine oracle(options);
+    oracle.AddSink(&oracle_sink);
+    ConfigureFleet(&oracle);
+    for (int i = 0; i < kShardedEvents; ++i) {
+      ASSERT_TRUE(oracle.Ingest(ShardedEvent(i), T(1 + i)).ok());
+      ASSERT_TRUE(oracle.PumpAll().ok());
+    }
+    ASSERT_TRUE(oracle.Finish().ok());
+  }
+  ASSERT_GT(oracle_sink.ResultsFor("q_left").size(), 0u);
+  ASSERT_GT(oracle_sink.ResultsFor("q_right").size(), 0u);
+
+  for (const char* point : {"checkpoint.write", "checkpoint.rename"}) {
+    SCOPED_TRACE(point);
+    FaultInjector::Global().Reset();
+    const std::string dir = FreshDir(std::string("sharded_") + point);
+    shard::ShardedEngineOptions options;
+    options.shards = 2;
+    options.checkpoint_dir = dir;
+    options.checkpoint_every = 1;  // Every batch barrier commits.
+    options.checkpoint_fsync = false;
+
+    // The victim: on the final pump before the "crash", exactly ONE
+    // shard's commit dies at the fault point (ArmNext(1) kills the first
+    // attempt; the other shard commits its newer generation).
+    {
+      shard::ShardedEngine victim(options);
+      CollectingSink sink;
+      victim.AddSink(&sink);
+      ConfigureFleet(&victim);
+      for (int i = 0; i < kShardedCrashAt; ++i) {
+        if (i == kShardedCrashAt - 1) {
+          FaultInjector::Global().ArmNext(point, 1);
+        }
+        ASSERT_TRUE(victim.Ingest(ShardedEvent(i), T(1 + i)).ok());
+        ASSERT_TRUE(victim.PumpAll().ok());
+      }
+      int64_t failures = 0;
+      for (int s = 0; s < 2; ++s) {
+        const Counter* counter = victim.shard_engine(s)->metrics().FindCounter(
+            "seraph_checkpoint_failures_total");
+        if (counter != nullptr) failures += counter->value();
+      }
+      EXPECT_EQ(failures, 1) << point << ": expected exactly one shard's "
+                                         "commit to die";
+      // Crash: the fleet is abandoned with whatever the shard dirs hold.
+    }
+    FaultInjector::Global().Reset();
+
+    // Recovery: fresh fleet, same routes, queries re-registered, then
+    // Restore() — each shard from its own newest valid generation plus
+    // its ingest-log suffix.
+    shard::ShardedEngine recovered(options);
+    CollectingSink sink;
+    recovered.AddSink(&sink);
+    ConfigureFleet(&recovered);
+    ASSERT_TRUE(recovered.Restore().ok());
+    std::map<std::string, size_t> restored_evals;
+    for (const char* query : {"q_left", "q_right"}) {
+      auto stats = recovered.StatsFor(query);
+      ASSERT_TRUE(stats.ok());
+      restored_evals[query] = static_cast<size_t>(stats->evaluations);
+    }
+    // Replay the backlog, then continue with the post-crash events.
+    ASSERT_TRUE(recovered.PumpAll().ok());
+    for (int i = kShardedCrashAt; i < kShardedEvents; ++i) {
+      ASSERT_TRUE(recovered.Ingest(ShardedEvent(i), T(1 + i)).ok());
+      ASSERT_TRUE(recovered.PumpAll().ok());
+    }
+    ASSERT_TRUE(recovered.Finish().ok());
+
+    // Exactly-once ingest across the crash: every shard's broadcast
+    // stream holds each produced element once.
+    for (int s = 0; s < 2; ++s) {
+      EXPECT_EQ(recovered.shard_engine(s)->stream().size(),
+                static_cast<size_t>(kShardedEvents))
+          << "shard " << s;
+    }
+    EXPECT_EQ(recovered.shard_engine(0)->stream("left").size(),
+              static_cast<size_t>(kShardedEvents / 2));
+    EXPECT_EQ(recovered.shard_engine(1)->stream("right").size(),
+              static_cast<size_t>(kShardedEvents / 2));
+
+    // Per query, the recovered output is exactly the oracle suffix from
+    // the restored evaluation count — no replayed, no lost emissions,
+    // even though the two shards restored different generations.
+    for (const char* query : {"q_left", "q_right"}) {
+      SCOPED_TRACE(query);
+      ExpectSuffixMatch(sink.ResultsFor(query), oracle_sink.ResultsFor(query),
+                        restored_evals[query]);
+    }
   }
 }
 

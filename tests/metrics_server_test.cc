@@ -1,8 +1,10 @@
-// The HTTP observability endpoint (src/server/metrics_server.h): a live
+// The HTTP serving front-end (src/server/metrics_server.h): a live
 // engine scraped over a real loopback socket — /metrics carries the
 // emit-latency buckets and lag gauges, /healthz answers, /queries
-// reflects engine state (including a budget-disabled query), and unknown
-// paths 404.
+// reflects engine state (including a budget-disabled query), unknown
+// paths 404 — plus the poll()-driven multi-connection loop: concurrent
+// clients, per-connection IO deadlines, registered POST handlers, and
+// long-poll parking.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -10,8 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "graph/graph_builder.h"
 #include "seraph/continuous_engine.h"
@@ -28,28 +33,32 @@ PropertyGraph Item(int64_t id) {
       .Build();
 }
 
-// A blocking HTTP/1.0-style GET against 127.0.0.1:<port>: send one
-// request, read until the server closes (it serves one response per
-// connection). Returns the raw response (status line + headers + body).
-std::string HttpGet(int port, const std::string& path) {
+int Connect(int port) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return "";
+  if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     close(fd);
-    return "";
+    return -1;
   }
-  const std::string request =
-      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
-  while (sent < request.size()) {
-    ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) break;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
+  return true;
+}
+
+// Reads until the server closes (one response per connection).
+std::string RecvAll(int fd) {
   std::string response;
   char buffer[4096];
   for (;;) {
@@ -57,8 +66,38 @@ std::string HttpGet(int port, const std::string& path) {
     if (n <= 0) break;
     response.append(buffer, static_cast<size_t>(n));
   }
+  return response;
+}
+
+// A blocking request against 127.0.0.1:<port>: send, read until close.
+// Returns the raw response (status line + headers + body).
+std::string HttpRequestRaw(int port, const std::string& method,
+                           const std::string& path, const std::string& body) {
+  int fd = Connect(port);
+  if (fd < 0) return "";
+  std::string request = method + " " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  SendAll(fd, request);
+  const std::string response = RecvAll(fd);
   close(fd);
   return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpRequestRaw(port, "GET", path, "");
+}
+
+// Polls `predicate` until it holds or ~5s pass (the serve loop works in
+// ticks, so counters and parked replies land asynchronously).
+bool WaitFor(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
 }
 
 // /metrics serves the live registry (emit-latency buckets, lag gauges),
@@ -178,11 +217,10 @@ TEST(MetricsServerTest, QueriesEndpointReflectsDisabledQuery) {
   EXPECT_EQ(revived.find("\"disabled\":true"), std::string::npos) << revived;
 }
 
-// Regression: the serve loop handles one client at a time, so a client
-// that connects and then sends nothing used to wedge every subsequent
-// scraper behind a blocking recv. With the per-connection IO deadline
-// the stalled connection is abandoned, counted, and the next real
-// request is served.
+// Regression: a client that connects and then sends nothing must never
+// wedge other scrapers. With the poll() loop the hung connection does
+// not even delay them — the real request completes while the stalled one
+// is still inside its IO deadline, and the deadline then abandons it.
 TEST(MetricsServerTest, SlowClientCannotWedgeTheServeLoop) {
   MetricsRegistry registry;
   MetricsServer::Options options;
@@ -193,23 +231,145 @@ TEST(MetricsServerTest, SlowClientCannotWedgeTheServeLoop) {
   ASSERT_TRUE(server.Start().ok());
 
   // Connect-and-hang: open the socket, send nothing, keep it open.
-  int hang_fd = socket(AF_INET, SOCK_STREAM, 0);
+  int hang_fd = Connect(server.port());
   ASSERT_GE(hang_fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  ASSERT_EQ(connect(hang_fd, reinterpret_cast<sockaddr*>(&addr),
-                    sizeof(addr)),
-            0);
 
-  // A real scraper right behind it must still get through: the server
-  // abandons the stalled connection at the deadline and moves on.
+  // A real scraper right behind it gets through immediately — the
+  // stalled connection no longer blocks the loop at all.
   const std::string health = HttpGet(server.port(), "/healthz");
   EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
-  EXPECT_GE(server.connections_timed_out(), 1);
+  // The stalled connection is abandoned once its own deadline passes.
+  EXPECT_TRUE(WaitFor([&] { return server.connections_timed_out() >= 1; }))
+      << "stalled connection was never abandoned";
 
   close(hang_fd);
+  server.Stop();
+}
+
+// The satellite regression the poll() rewrite exists for: two clients
+// held open CONCURRENTLY, both served. Client A sends half a request and
+// stalls mid-header; client B's full request completes while A is still
+// open; then A finishes its request and is served too.
+TEST(MetricsServerTest, TwoConcurrentClientsAreBothServed) {
+  MetricsRegistry registry;
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  MetricsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int slow_fd = Connect(server.port());
+  ASSERT_GE(slow_fd, 0);
+  ASSERT_TRUE(SendAll(slow_fd, "GET /heal"));  // Mid-header stall.
+
+  // B completes while A's request is still unfinished.
+  const std::string fast = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(fast.find("200 OK"), std::string::npos) << fast;
+
+  // A wakes up, finishes the request, and is served on the same socket.
+  ASSERT_TRUE(SendAll(slow_fd, "thz HTTP/1.0\r\nHost: x\r\n\r\n"));
+  const std::string slow = RecvAll(slow_fd);
+  close(slow_fd);
+  EXPECT_NE(slow.find("200 OK"), std::string::npos) << slow;
+  EXPECT_NE(slow.find("ok"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 2);
+  EXPECT_EQ(server.connections_timed_out(), 0);
+  server.Stop();
+}
+
+// Registered handlers: a POST route receives the body (framed by
+// Content-Length), replies through HttpReply, and takes precedence over
+// the built-ins; malformed request heads are rejected with 400.
+TEST(MetricsServerTest, RegisteredPostHandlerReceivesBody) {
+  MetricsRegistry registry;
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  MetricsServer server(options);
+  server.Handle("POST", "/echo", [](const HttpRequest& request) {
+    HttpReply reply;
+    reply.content_type = "application/json";
+    reply.body = "{\"method\":\"" + request.method + "\",\"path\":\"" +
+                 request.path + "\",\"query\":\"" + request.query +
+                 "\",\"body\":\"" + request.body + "\"}";
+    return reply;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response =
+      HttpRequestRaw(server.port(), "POST", "/echo/sub?x=1", "hello body");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"path\":\"/echo/sub\""), std::string::npos);
+  EXPECT_NE(response.find("\"query\":\"x=1\""), std::string::npos);
+  EXPECT_NE(response.find("\"body\":\"hello body\""), std::string::npos);
+
+  // GET on the same prefix does not match the POST route → built-in 404.
+  const std::string wrong_method = HttpGet(server.port(), "/echo");
+  EXPECT_NE(wrong_method.find("404"), std::string::npos) << wrong_method;
+
+  // A request line that is not HTTP at all → 400.
+  int fd = Connect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "garbage\r\n\r\n"));
+  const std::string malformed = RecvAll(fd);
+  close(fd);
+  EXPECT_NE(malformed.find("400"), std::string::npos) << malformed;
+  server.Stop();
+}
+
+// Long polling: a handler returning std::nullopt parks the connection;
+// the serve loop re-invokes it every tick, and the reply goes out as
+// soon as the handler produces one — while other clients keep being
+// served in between.
+TEST(MetricsServerTest, LongPollParksUntilHandlerReplies) {
+  MetricsRegistry registry;
+  std::atomic<bool> ready{false};
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  options.long_poll_timeout_millis = 10'000;
+  MetricsServer server(options);
+  server.Handle("GET", "/wait",
+                [&](const HttpRequest&) -> std::optional<HttpReply> {
+                  if (!ready.load()) return std::nullopt;
+                  HttpReply reply;
+                  reply.body = "data arrived\n";
+                  return reply;
+                });
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = Connect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, "GET /wait HTTP/1.0\r\nHost: x\r\n\r\n"));
+
+  // While the poller is parked, an unrelated client is still served.
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+
+  ready.store(true);  // "Data" shows up; the parked poller is woken.
+  const std::string response = RecvAll(fd);
+  close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("data arrived"), std::string::npos);
+  server.Stop();
+}
+
+// A parked request whose data never arrives is answered 204 No Content
+// once the long-poll budget expires (clients re-poll on 204).
+TEST(MetricsServerTest, LongPollExpiresWithNoContent) {
+  MetricsRegistry registry;
+  MetricsServer::Options options;
+  options.port = 0;
+  options.registry = &registry;
+  options.long_poll_timeout_millis = 150;  // Short: the test waits it out.
+  MetricsServer server(options);
+  server.Handle("GET", "/wait",
+                [](const HttpRequest&) -> std::optional<HttpReply> {
+                  return std::nullopt;  // Never ready.
+                });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/wait");
+  EXPECT_NE(response.find("204"), std::string::npos) << response;
   server.Stop();
 }
 

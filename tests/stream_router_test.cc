@@ -61,6 +61,18 @@ TEST(StreamRouterTest, PartitionByPropertyValue) {
   EXPECT_EQ(engine.stream("south").size(), 1u);
 }
 
+TEST(StreamRouterTest, RoutesByLabel) {
+  ContinuousEngine engine;
+  StreamRouter router;
+  router.AddRoute("stations", HasLabel("Station"));
+  router.AddRoute("people", HasLabel("Person"));
+  auto delivered = router.Route(&engine, Rental(1, 1), T(1));
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 1);  // Stations only: rentals carry no Person.
+  EXPECT_EQ(engine.stream("stations").size(), 1u);
+  EXPECT_EQ(engine.stream("people").size(), 0u);
+}
+
 TEST(StreamRouterTest, UnmatchedEventsGoNowhere) {
   ContinuousEngine engine;
   StreamRouter router;
@@ -68,6 +80,58 @@ TEST(StreamRouterTest, UnmatchedEventsGoNowhere) {
   auto delivered = router.Route(&engine, Rental(1, 1), T(1));
   ASSERT_TRUE(delivered.ok());
   EXPECT_EQ(*delivered, 0);
+  EXPECT_EQ(router.dropped_total(), 1);
+}
+
+// The routing observability surface: BindMetrics exposes one
+// seraph_router_routed_total{stream=...} counter per route — covering
+// routes added before AND after the bind — plus the fleet-level
+// seraph_router_dropped_total for events matching no route. All four
+// predicate builders flow through the counters.
+TEST(StreamRouterTest, BindMetricsCountsRoutedAndDropped) {
+  ContinuousEngine engine;
+  MetricsRegistry registry;
+  StreamRouter router;
+  router.AddRoute("rentals", HasRelationshipType("rentedAt"));  // Pre-bind.
+  router.BindMetrics(&registry);
+  router.AddRoute("north", NodePropertyEquals("region", Value::Int(1)));
+  router.AddRoute("bikes", HasLabel("Bike"));
+  router.AddRoute("", AcceptAll());  // Default stream → "<default>" label.
+
+  // Rental(1, 1): rentals + north + bikes + default.
+  ASSERT_TRUE(router.Route(&engine, Rental(1, 1), T(1)).ok());
+  // Return(2, 2): bikes + default (wrong type, wrong region).
+  ASSERT_TRUE(router.Route(&engine, Return(2, 2), T(2)).ok());
+
+  auto count = [&](const std::string& stream) {
+    const Counter* counter = registry.FindCounter(
+        "seraph_router_routed_total", {{"stream", stream}});
+    return counter == nullptr ? int64_t{-1} : counter->value();
+  };
+  EXPECT_EQ(count("rentals"), 1);
+  EXPECT_EQ(count("north"), 1);
+  EXPECT_EQ(count("bikes"), 2);
+  EXPECT_EQ(count("<default>"), 2);
+  // Every event matched something: no drops yet.
+  const Counter* dropped =
+      registry.FindCounter("seraph_router_dropped_total", {});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value(), 0);
+
+  // An event matching no route counts as dropped (the Station-only graph
+  // has no Bike node, no rentedAt, and region 3).
+  auto station_only = std::make_shared<const PropertyGraph>(
+      GraphBuilder()
+          .Node(2000, {"Depot"}, {{"region", Value::Int(3)}})
+          .Build());
+  StreamRouter strict;
+  strict.BindMetrics(&registry);
+  strict.AddRoute("rentals", HasRelationshipType("rentedAt"));
+  auto delivered = strict.Route(&engine, station_only, T(3));
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 0);
+  EXPECT_EQ(strict.dropped_total(), 1);
+  EXPECT_EQ(dropped->value(), 1);
 }
 
 TEST(StreamRouterTest, PartitionedQueriesSeeOnlyTheirSubStream) {

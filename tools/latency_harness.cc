@@ -2,7 +2,7 @@
 // end-to-end pipeline (docs/INTERNALS.md, "Latency accounting & lag").
 //
 //   latency_harness [--rate=<events/sec>] [--duration-sec=<n>]
-//                   [--queries=<n>] [--out=<path>]
+//                   [--queries=<n>] [--out=<path>] [--shards=<n>]
 //                   [--metrics-port=<p>] [--stats-interval=<sec>]
 //                   [--queue-capacity=<n>] [--overflow-policy=<policy>]
 //                   [--shed-lag-ms=<n>]
@@ -33,6 +33,14 @@
 // CI can assert memory stays bounded under sustained overload.
 // SERAPH_QUEUE_CAPACITY / SERAPH_OVERFLOW_POLICY / SERAPH_SHED_LAG_MS
 // supply defaults for the corresponding flags.
+//
+// With --shards=N (N > 1) the harness drives a ShardedEngine instead
+// (docs/INTERNALS.md, "Sharded serving tier"): events are broadcast
+// through the fleet's default route, each query lands on its home shard,
+// and the reported latency distribution is the per-shard
+// `seraph_engine_emit_latency_micros` histograms merged fleet-wide. The
+// JSON report keeps the same field names (the per-queue overload ledger
+// is internal to the fleet's lanes and reports as zero).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -49,6 +57,7 @@
 #include "seraph/dead_letter.h"
 #include "seraph/stream_driver.h"
 #include "server/metrics_server.h"
+#include "shard/sharded_engine.h"
 #include "stream/event_queue.h"
 #include "stream/overflow_policy.h"
 
@@ -123,12 +132,173 @@ class CountingSink final : public EmitSink {
   int64_t rows_ = 0;
 };
 
+// Registered query text shared by both paths: a sliding 10 s window,
+// evaluated every second of event time.
+std::string QueryText(int index) {
+  return "REGISTER QUERY lat_q" + std::to_string(index) +
+         " STARTING AT '1970-01-01T00:00:01' {\n"
+         "  MATCH (p:Person)-[:IN]->(r:Room) WITHIN PT10S\n"
+         "  EMIT p.id AS person, r.id AS room EVERY PT1S\n"
+         "}\n";
+}
+
+// The --shards path: same pacing and reporting, driven through a
+// ShardedEngine so the latency-smoke CI leg exercises partitioned
+// ingest, independent shard barriers, and the ordered merge.
+int RunSharded(int shards, double rate, int duration_sec, int queries,
+               const std::string& out_path, size_t queue_capacity,
+               OverflowPolicy overflow_policy, int metrics_port,
+               int stats_interval) {
+  shard::ShardedEngineOptions fleet_options;
+  fleet_options.shards = shards;
+  fleet_options.queue.capacity = queue_capacity;
+  fleet_options.queue.overflow_policy = overflow_policy;
+  shard::ShardedEngine fleet(fleet_options);
+  CountingSink sink;
+  fleet.AddSink(&sink);
+  for (int q = 0; q < queries; ++q) {
+    auto placement = fleet.RegisterText(QueryText(q));
+    if (!placement.ok()) return Fail(placement.status().ToString());
+  }
+
+  MetricsServer::Options server_options;
+  server_options.port = metrics_port < 0 ? 0 : metrics_port;
+  server_options.registry = &fleet.metrics();
+  server_options.queries_json = [&fleet]() -> std::string {
+    // The serve loop races the pump loop here, but this harness only
+    // reads the endpoint between runs; seraph_serve is the synchronized
+    // serving path.
+    return fleet.QueriesStatusJson();
+  };
+  MetricsServer server(server_options);
+  if (metrics_port >= 0) {
+    if (Status s = server.Start(); !s.ok()) return Fail(s.ToString());
+    std::cerr << "[latency_harness] metrics on http://127.0.0.1:"
+              << server.port() << "/metrics (" << shards << " shards)\n";
+  }
+
+  // Fleet-wide emit latency: per-shard engine histograms merged.
+  auto merged_latency = [&fleet]() {
+    HistogramSnapshot merged;
+    for (int i = 0; i < fleet.num_shards(); ++i) {
+      const Histogram* h = fleet.shard_engine(i)->metrics().FindHistogram(
+          "seraph_engine_emit_latency_micros");
+      if (h != nullptr) MergeHistogramSnapshot(&merged, h->Snapshot());
+    }
+    return merged;
+  };
+  auto max_lag_ms = [&fleet]() {
+    int64_t max_lag = 0;
+    for (int i = 0; i < fleet.num_shards(); ++i) {
+      const Gauge* g = fleet.shard_engine(i)->metrics().FindGauge(
+          "seraph_stream_lag_max_millis", {{"stream", "<default>"}});
+      if (g != nullptr) max_lag = std::max(max_lag, g->value());
+    }
+    return max_lag;
+  };
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto deadline = start + std::chrono::seconds(duration_sec);
+  const double event_millis_per_event = 1000.0 / rate;
+  int64_t produced = 0;
+  int64_t next_stats_at = stats_interval;
+  while (clock::now() < deadline) {
+    const double elapsed_sec =
+        std::chrono::duration<double>(clock::now() - start).count();
+    const int64_t due = static_cast<int64_t>(elapsed_sec * rate);
+    bool idle = produced >= due;
+    while (produced < due) {
+      const int64_t t_ms =
+          1000 + static_cast<int64_t>(produced * event_millis_per_event);
+      auto delivered = fleet.Ingest(MakeEvent(produced),
+                                    Timestamp::FromMillis(t_ms));
+      if (!delivered.ok()) return Fail(delivered.status().ToString());
+      ++produced;
+    }
+    if (Status s = fleet.PumpAll(); !s.ok()) return Fail(s.ToString());
+    if (stats_interval > 0 && elapsed_sec >= next_stats_at) {
+      next_stats_at += stats_interval;
+      HistogramSnapshot lat = merged_latency();
+      std::cerr << "[latency_harness] in=" << produced
+                << " emits=" << sink.emits() << " p99_emit_us=" << lat.p99
+                << " max_lag_ms=" << max_lag_ms()
+                << " watermark_ms=" << fleet.FleetWatermarkMillis() << "\n";
+    }
+    if (idle) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (Status s = fleet.Finish(); !s.ok()) return Fail(s.ToString());
+
+  const double wall_sec =
+      std::chrono::duration<double>(clock::now() - start).count();
+  HistogramSnapshot latency = merged_latency();
+  if (latency.count == 0) {
+    return Fail("no emit-latency samples were recorded — the run produced "
+                "no delivered evaluations (rate/duration too small?)");
+  }
+  const double achieved = static_cast<double>(produced) / wall_sec;
+  const double rss_mb = RssMb();
+
+  char line[640];
+  std::snprintf(line, sizeof(line),
+                "events=%lld (%.0f/s target %.0f/s)  shards=%d  queries=%d"
+                "  emits=%lld  rows=%lld\n"
+                "emit latency (us): p50=%lld p99=%lld p999=%lld max=%lld"
+                "  samples=%lld\n"
+                "max lag: %lld ms  fleet watermark: %lld ms"
+                "  merged emissions: %lld  rss=%.1f MiB\n",
+                static_cast<long long>(produced), achieved, rate, shards,
+                queries, static_cast<long long>(sink.emits()),
+                static_cast<long long>(sink.rows()),
+                static_cast<long long>(latency.p50),
+                static_cast<long long>(latency.p99),
+                static_cast<long long>(latency.p999),
+                static_cast<long long>(latency.max),
+                static_cast<long long>(latency.count),
+                static_cast<long long>(max_lag_ms()),
+                static_cast<long long>(fleet.FleetWatermarkMillis()),
+                static_cast<long long>(fleet.released_total()), rss_mb);
+  std::cout << line;
+
+  std::ofstream out(out_path);
+  if (!out) return Fail("cannot open '" + out_path + "'");
+  out << "{\n"
+      << "  \"rate_target\": " << rate << ",\n"
+      << "  \"rate_achieved\": " << achieved << ",\n"
+      << "  \"duration_sec\": " << duration_sec << ",\n"
+      << "  \"shards\": " << shards << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"events\": " << produced << ",\n"
+      << "  \"emits\": " << sink.emits() << ",\n"
+      << "  \"rows\": " << sink.rows() << ",\n"
+      << "  \"latency_samples\": " << latency.count << ",\n"
+      << "  \"p50_us\": " << latency.p50 << ",\n"
+      << "  \"p99_us\": " << latency.p99 << ",\n"
+      << "  \"p999_us\": " << latency.p999 << ",\n"
+      << "  \"max_us\": " << latency.max << ",\n"
+      << "  \"max_lag_ms\": " << max_lag_ms() << ",\n"
+      << "  \"dead_letters\": 0,\n"
+      << "  \"queue_capacity\": " << queue_capacity << ",\n"
+      << "  \"overflow_policy\": \"" << OverflowPolicyName(overflow_policy)
+      << "\",\n"
+      << "  \"shed_total\": 0,\n"
+      << "  \"rejected_total\": 0,\n"
+      << "  \"trimmed_total\": 0,\n"
+      << "  \"producer_retries\": 0,\n"
+      << "  \"degraded_entries\": 0,\n"
+      << "  \"rss_mb\": " << rss_mb << "\n"
+      << "}\n";
+  std::cerr << "[latency_harness] wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double rate = 2000.0;       // Events per second.
   int duration_sec = 5;       // Sustained production window.
   int queries = 1;            // Identical queries sharing the stream.
+  int shards = 1;             // > 1 drives a ShardedEngine fleet.
   std::string out_path = "BENCH_latency.json";
   int metrics_port = -1;      // -1 = endpoint off; 0 = ephemeral.
   int stats_interval = 0;     // Seconds; 0 = off.
@@ -154,6 +324,9 @@ int main(int argc, char** argv) {
     } else if (FlagValue(arg, "--queries=", &value)) {
       queries = std::atoi(value.c_str());
       if (queries <= 0) return Fail("--queries expects a positive count");
+    } else if (FlagValue(arg, "--shards=", &value)) {
+      shards = std::atoi(value.c_str());
+      if (shards <= 0) return Fail("--shards expects a positive count");
     } else if (FlagValue(arg, "--out=", &value)) {
       out_path = value;
       if (out_path.empty()) return Fail("--out expects a file path");
@@ -188,7 +361,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: latency_harness [--rate=<events/sec>] "
                    "[--duration-sec=<n>] [--queries=<n>]\n"
-                   "                       [--out=<path>] "
+                   "                       [--out=<path>] [--shards=<n>] "
                    "[--metrics-port=<p>] [--stats-interval=<sec>]\n"
                    "                       [--queue-capacity=<n>] "
                    "[--overflow-policy=<block|reject|shed_oldest>]\n"
@@ -197,6 +370,12 @@ int main(int argc, char** argv) {
     } else {
       return Fail("unknown argument '" + arg + "' (see --help)");
     }
+  }
+
+  if (shards > 1) {
+    return RunSharded(shards, rate, duration_sec, queries, out_path,
+                      queue_capacity, overflow_policy, metrics_port,
+                      stats_interval);
   }
 
   EventQueue::Options queue_options;
@@ -223,13 +402,7 @@ int main(int argc, char** argv) {
   // to the target rate, so each harness second triggers about one
   // evaluation per query regardless of rate.
   for (int q = 0; q < queries; ++q) {
-    const std::string text =
-        "REGISTER QUERY lat_q" + std::to_string(q) +
-        " STARTING AT '1970-01-01T00:00:01' {\n"
-        "  MATCH (p:Person)-[:IN]->(r:Room) WITHIN PT10S\n"
-        "  EMIT p.id AS person, r.id AS room EVERY PT1S\n"
-        "}\n";
-    if (Status s = engine.RegisterText(text); !s.ok()) {
+    if (Status s = engine.RegisterText(QueryText(q)); !s.ok()) {
       return Fail(s.ToString());
     }
   }

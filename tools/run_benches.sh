@@ -7,7 +7,9 @@
 # bench_delta: delta-matching ablation — steady-state evaluation latency
 # vs. window size with churn held fixed; bench_overload: bounded-queue
 # admission cost per overflow policy and
-# the degraded-mode catch-up pump) plus
+# the degraded-mode catch-up pump;
+# bench_sharded: the sharded serving tier — one hash-partitioned
+# workload through 1/2/4-shard fleets vs. the bare engine) plus
 # the steady-state latency harness, and writes one BENCH_<name>.json per
 # binary for archiving as a CI artifact and diffing against the committed
 # baselines in bench/baselines/ (tools/compare_benches.py).
@@ -23,7 +25,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 BENCHES=(bench_match bench_parallel_queries bench_recovery bench_emit_latency
          bench_delta
-         bench_overload)
+         bench_overload bench_sharded)
 
 mkdir -p "${OUT_DIR}"
 for bench in "${BENCHES[@]}"; do
